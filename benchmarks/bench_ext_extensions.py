@@ -1,0 +1,65 @@
+"""Extension benchmarks: the ablations/extensions beyond the paper's figures.
+
+- first-touch vs random page placement (the Section III-C open question);
+- concurrent kernel execution (Section III future work);
+- latency-vs-load curves for the candidate topologies ([46] methodology).
+"""
+
+from repro.experiments import ext_concurrent, ext_latency_load, ext_mapping
+
+
+def test_ext_first_touch_mapping(benchmark):
+    result = benchmark.pedantic(
+        ext_mapping.run, kwargs={"scale": 0.25}, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+
+    rows = {(r["workload"], r["placement"]): r for r in result.rows}
+    # Streaming workloads gain from locality; hops approach 1.0.
+    for wl in ("SCAN", "3DFD", "SRAD"):
+        assert rows[(wl, "first_touch")]["kernel_us"] < rows[(wl, "random")]["kernel_us"]
+        assert rows[(wl, "first_touch")]["avg_hops"] < 1.3
+        assert rows[(wl, "first_touch")]["energy_uj"] < rows[(wl, "random")]["energy_uj"]
+    # The imbalanced workload pays for locality (no free lunch).
+    assert (
+        rows[("CG.S", "first_touch")]["kernel_us"]
+        > 0.9 * rows[("CG.S", "random")]["kernel_us"]
+    )
+
+
+def test_ext_concurrent_kernels(benchmark):
+    result = benchmark.pedantic(
+        ext_concurrent.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    rows = {r["kernels"]: r for r in result.rows}
+    # Underfilled grids overlap substantially.
+    assert rows["CG.S+FT.S"]["overlap_speedup"] > 1.3
+    assert rows["CG.S+CG.S"]["overlap_speedup"] > 1.3
+    # Saturating kernels are compute-conserved: no large win, no large loss.
+    assert 0.9 < rows["BP+KMN"]["overlap_speedup"] < 1.5
+
+
+def test_ext_latency_load(benchmark):
+    result = benchmark.pedantic(
+        ext_latency_load.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    rows = {r["topology"]: r for r in result.rows}
+    # Latency rises with load for every topology.
+    for topo, row in rows.items():
+        assert row["lat@90%"] >= row["lat@10%"], topo
+    # sFBFLY's curve is the flattest among the sliced designs, and matches
+    # dFBFLY under uniform traffic (identical minimal routes, Section V-B).
+    assert rows["sfbfly"]["lat@90%"] < rows["smesh"]["lat@90%"]
+    assert rows["sfbfly"]["lat@90%"] < rows["storus"]["lat@90%"]
+    assert rows["sfbfly"]["lat@90%"] == rows["dfbfly"]["lat@90%"]
+    # dDFLY saturates early: its single global channel per cluster pair is
+    # the bandwidth limitation the paper calls out.
+    assert rows["ddfly"]["lat@90%"] > rows["sfbfly"]["lat@90%"] * 2

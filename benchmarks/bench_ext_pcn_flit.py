@@ -1,0 +1,46 @@
+"""Extension benchmarks: NVLink-style PCN comparison and flit validation."""
+
+from repro.experiments import ext_flit_validation, ext_pcn
+
+
+def test_ext_pcn_vs_memory_networks(benchmark):
+    result = benchmark.pedantic(ext_pcn.run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result.render())
+
+    totals = {}
+    for row in result.rows:
+        totals.setdefault(row["workload"], {})[row["arch"]] = row["total_us"]
+    for wl, per_arch in totals.items():
+        # NVLink beats PCIe everywhere (the point of the link upgrade)...
+        assert per_arch["NVLink"] < per_arch["PCIe"], wl
+        # ...but UMN beats NVLink everywhere (the point of the paper).
+        assert per_arch["UMN"] < per_arch["NVLink"], wl
+    # GMN's kernel is faster than NVLink's even when its memcpy is not.
+    kernels = {}
+    for row in result.rows:
+        kernels.setdefault(row["workload"], {})[row["arch"]] = row["kernel_us"]
+    faster = sum(1 for wl in kernels if kernels[wl]["GMN"] <= kernels[wl]["NVLink"])
+    assert faster >= len(kernels) - 1
+
+
+def test_ext_flit_validation(benchmark):
+    result = benchmark.pedantic(
+        ext_flit_validation.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    by_point = {(r["study"], r["point"]): r for r in result.rows}
+    # Models agree at low load (within ~25%).
+    low = by_point[("latency-load", "10% load")]
+    assert 0.7 < low["ratio"] < 1.3
+    # Backpressure raises flit-level latency monotonically with load.
+    ratios = [
+        by_point[("latency-load", f"{l:.0%} load")]["ratio"] for l in (0.1, 0.4, 0.8)
+    ]
+    assert ratios == sorted(ratios)
+    # Full-system runs stay within a small constant factor.
+    for row in result.rows:
+        if row["study"] == "full-system":
+            assert 1.0 <= row["ratio"] < 4.0

@@ -1,0 +1,24 @@
+"""Extension benchmark: robustness of the headline conclusions."""
+
+from repro.experiments import ext_sensitivity
+
+
+def test_ext_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        ext_sensitivity.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    # No 2x perturbation of SerDes latency, channel bandwidth, vault queue
+    # depth, or PCIe latency may flip either headline conclusion.
+    for row in result.rows:
+        assert row["umn_speedup_vs_pcie"] > 1.0, row["parameter"]
+        assert row["sfbfly_speedup_vs_smesh"] > 1.0, row["parameter"]
+    # Halving channel bandwidth narrows the UMN margin (the win is
+    # bandwidth-driven) but keeps it decisive.
+    by_param = {r["parameter"]: r for r in result.rows}
+    assert (
+        by_param["channel bw x0.5"]["umn_speedup_vs_pcie"]
+        < by_param["baseline"]["umn_speedup_vs_pcie"]
+    )

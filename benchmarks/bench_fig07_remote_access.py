@@ -1,0 +1,21 @@
+"""Fig. 7 benchmark: remote-memory-access cost, PCIe vs GMN."""
+
+from repro.experiments import fig07_remote_access
+
+
+def test_fig07_remote_access(benchmark):
+    result = benchmark.pedantic(
+        fig07_remote_access.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    pcie = [r for r in result.rows if r["system"] == "PCIe"]
+    gmn = [r for r in result.rows if r["system"] == "GMN"]
+    # Fig. 7(a): PCIe collapses with distribution (paper: up to 11.7x).
+    assert pcie[-1]["normalized_runtime"] > 5.0
+    assert pcie[1]["normalized_runtime"] > 2.0
+    # Fig. 7(b): the GMN *improves* at 50% remote.
+    assert gmn[1]["normalized_runtime"] < 1.0
+    # Network latency rises with distribution while runtime does not.
+    assert gmn[-1]["avg_net_latency_ns"] > gmn[0]["avg_net_latency_ns"]

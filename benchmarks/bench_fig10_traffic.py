@@ -1,0 +1,31 @@
+"""Fig. 10 benchmark: GPU-to-HMC traffic distribution (KMN vs CG.S)."""
+
+from repro.experiments import fig10_traffic
+
+
+def test_fig10_traffic(benchmark):
+    result = benchmark.pedantic(
+        fig10_traffic.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    rows = {
+        (r["workload"], r["interleave"]): r for r in result.rows
+    }
+    # CG.S is far more imbalanced across HMCs than KMN (paper: ~11.7x hot
+    # HMCs for CG.S vs near-uniform KMN).
+    assert (
+        rows[("CG.S", "line")]["hmc_traffic_max_over_min"]
+        > 1.5 * rows[("KMN", "line")]["hmc_traffic_max_over_min"]
+    )
+    # Cache-line interleaving keeps intra-cluster traffic balanced even for
+    # the imbalanced workload (Section V-A)...
+    assert rows[("CG.S", "line")]["worst_intra_cluster_ratio"] < 2.0
+    assert rows[("KMN", "line")]["worst_intra_cluster_ratio"] < 2.0
+    # ...and the page-granularity ablation destroys that balance, showing
+    # the mapping is what licenses removing intra-cluster channels.
+    assert (
+        rows[("KMN", "page")]["worst_intra_cluster_ratio"]
+        > 2 * rows[("KMN", "line")]["worst_intra_cluster_ratio"]
+    )

@@ -1,0 +1,22 @@
+"""Fig. 12 benchmark: channel counts, dFBFLY vs sFBFLY."""
+
+import pytest
+
+from repro.experiments import fig12_channels
+
+
+def test_fig12_channels(benchmark):
+    result = benchmark.pedantic(
+        fig12_channels.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    by_gpus = {r["gpus"]: r for r in result.rows}
+    # Exact paper numbers for the 4- and 8-GPU systems.
+    assert by_gpus[4]["dfbfly_channels"] == 48
+    assert by_gpus[4]["sfbfly_channels"] == 24
+    assert by_gpus[4]["saving_pct"] == pytest.approx(50.0, abs=0.1)
+    assert by_gpus[8]["saving_pct"] == pytest.approx(43.0, abs=1.0)
+    # Scalability: sFBFLY stays within the HMC's 8 channels longer.
+    assert by_gpus[8]["max_hmc_degree_sfbfly"] <= 8 < by_gpus[8]["max_hmc_degree_dfbfly"]

@@ -1,0 +1,46 @@
+"""Fig. 14 benchmark: runtime breakdown across all seven architectures.
+
+This is the paper's headline sweep: every Table II workload on PCIe,
+PCIe-ZC, CMN, CMN-ZC, GMN, GMN-ZC, and UMN.
+"""
+
+from repro.experiments import fig14_organizations
+from repro.system.metrics import geometric_mean
+
+
+def test_fig14_organizations(benchmark):
+    result = benchmark.pedantic(
+        fig14_organizations.run,
+        kwargs={"scale": 0.25},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+
+    totals = {}
+    for row in result.rows:
+        totals.setdefault(row["arch"], {})[row["workload"]] = row["total_us"]
+    workloads = list(totals["PCIe"])
+
+    def geo(arch):
+        return geometric_mean([totals["PCIe"][w] / totals[arch][w] for w in workloads])
+
+    # UMN is the fastest architecture on every single workload.
+    for w in workloads:
+        best = min(totals, key=lambda a: totals[a][w])
+        assert best == "UMN", f"{w}: expected UMN fastest, got {best}"
+    # Overall orderings from the paper.
+    assert geo("UMN") > 4.0  # paper: 8.5x
+    assert geo("CMN") > 1.3  # paper: 1.8x
+    assert geo("CMN-ZC") > geo("CMN") * 0.9  # CMN-ZC at least comparable
+    # GMN-ZC == PCIe-ZC exactly (the GPU network is never used).
+    for w in workloads:
+        assert totals["GMN-ZC"][w] == totals["PCIe-ZC"][w]
+    # GMN kernel speedup vs PCIe (paper: up to 8.8x).
+    kernels = {}
+    for row in result.rows:
+        kernels.setdefault(row["arch"], {})[row["workload"]] = row["kernel_us"]
+    max_gain = max(kernels["PCIe"][w] / kernels["GMN"][w] for w in workloads)
+    assert max_gain > 4.0

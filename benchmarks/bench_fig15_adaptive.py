@@ -1,0 +1,20 @@
+"""Fig. 15 benchmark: MIN vs UGAL adaptive routing."""
+
+from repro.experiments import fig15_adaptive
+
+
+def test_fig15_adaptive_routing(benchmark):
+    result = benchmark.pedantic(
+        fig15_adaptive.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    gains = {(r["topology"], r["workload"]): r["ugal_gain_pct"] for r in result.rows}
+    # The imbalanced CG.S benefits from adaptivity on dFBFLY (paper: 9.5%).
+    assert gains[("dfbfly", "CG.S")] > 2.0
+    # Adaptive routing never hurts badly on the uniform workloads
+    # (paper: ~1-2% gains).
+    for topo in ("ddfly", "dfbfly"):
+        for wl in ("KMN", "CP"):
+            assert gains[(topo, wl)] > -3.0

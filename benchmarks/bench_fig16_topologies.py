@@ -1,0 +1,41 @@
+"""Fig. 16 benchmark: sliced-topology performance comparison."""
+
+from repro.experiments import fig16_fig17_topologies
+from repro.system.metrics import geometric_mean
+
+
+def test_fig16_topologies(benchmark):
+    result = benchmark.pedantic(
+        fig16_fig17_topologies.run,
+        kwargs={"scale": 0.25},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+
+    runtimes = {}
+    for row in result.rows:
+        runtimes.setdefault(row["topology"], {})[row["workload"]] = row["kernel_us"]
+    workloads = list(runtimes["smesh"])
+
+    def geo_vs(topo, base):
+        return geometric_mean(
+            [runtimes[base][w] / runtimes[topo][w] for w in workloads]
+        )
+
+    # The -2x variants beat their single-channel versions.
+    assert geo_vs("smesh-2x", "smesh") > 1.0
+    assert geo_vs("storus-2x", "storus") > 1.0
+    # sFBFLY is better than or comparable to everything (within 10% of the
+    # best, and clearly ahead of sMESH), per Section VI-B2.
+    assert geo_vs("sfbfly", "smesh") > 1.2
+    best = max(runtimes, key=lambda t: geo_vs(t, "smesh"))
+    assert geo_vs("sfbfly", "smesh") > 0.9 * geo_vs(best, "smesh")
+    # sFBFLY has the lowest average hop count of the sliced designs.
+    hops = {}
+    for row in result.rows:
+        hops.setdefault(row["topology"], []).append(row["avg_hops"])
+    mean_hops = {t: sum(v) / len(v) for t, v in hops.items()}
+    assert mean_hops["sfbfly"] == min(mean_hops.values())

@@ -1,0 +1,41 @@
+"""Fig. 17 benchmark: network energy of the sliced topologies.
+
+Shares the Fig. 16 sweep (the paper reports performance and energy from the
+same runs) but asserts the energy claims: sFBFLY lowest, with up to ~50%
+saving vs sMESH (paper: 50.7% on BP, 20.3% average).
+"""
+
+from repro.experiments import fig16_fig17_topologies
+
+
+def test_fig17_energy(benchmark):
+    result = benchmark.pedantic(
+        fig16_fig17_topologies.run,
+        kwargs={"scale": 0.25},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+
+    energy = {}
+    for row in result.rows:
+        energy.setdefault(row["topology"], {})[row["workload"]] = row["energy_uj"]
+    workloads = list(energy["smesh"])
+
+    savings = [
+        100 * (1 - energy["sfbfly"][w] / energy["smesh"][w]) for w in workloads
+    ]
+    # sFBFLY saves energy vs sMESH on average (paper: 20.3% avg, 50.7% max).
+    assert sum(savings) / len(savings) > 10.0
+    assert max(savings) > 25.0
+    # Mean energy across workloads: sFBFLY is the most efficient design.
+    means = {
+        t: sum(energy[t][w] for w in workloads) / len(workloads) for t in energy
+    }
+    assert means["sfbfly"] == min(means.values())
+    # The -2x variants burn more idle power but finish sooner; their total
+    # energy must not blow up relative to the 1x versions (paper: they
+    # *lowered* energy slightly).
+    assert means["smesh-2x"] < 1.3 * means["smesh"]

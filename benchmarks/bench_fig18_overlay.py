@@ -1,0 +1,19 @@
+"""Fig. 18 benchmark: CPU host-thread performance on UMN designs."""
+
+from repro.experiments import fig18_overlay
+
+
+def test_fig18_overlay(benchmark):
+    result = benchmark.pedantic(
+        fig18_overlay.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    host = {}
+    for row in result.rows:
+        host.setdefault(row["workload"], {})[row["design"]] = row["host_us"]
+    for wl in ("CG.S", "FT.S"):
+        # Paper ordering: overlay > sFBFLY > sMESH (lower host time better).
+        assert host[wl]["overlay"] < host[wl]["sfbfly"]
+        assert host[wl]["sfbfly"] < host[wl]["smesh"]

@@ -1,0 +1,32 @@
+"""Fig. 19 benchmark: multi-GPU scalability (1 to 16 GPUs).
+
+The heaviest sweep in the suite (35 full-system simulations up to
+16GPU-68HMC); expect a few minutes.
+"""
+
+from repro.experiments import fig19_scaling
+
+
+def test_fig19_scaling(benchmark):
+    result = benchmark.pedantic(
+        fig19_scaling.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    final = {r["workload"]: r["x16"] for r in result.rows}
+    # All workloads scale (paper geomean 13.5 at 16 GPUs).
+    geomean = 1.0
+    for v in final.values():
+        geomean *= v
+    geomean **= 1.0 / len(final)
+    assert geomean > 8.0
+    # CP (compute-bound) is among the best scalers; FWT (too-small input)
+    # is the worst (paper: 11.2x lowest).
+    ranked = sorted(final, key=final.get)
+    assert ranked[0] == "FWT"
+    assert final["CP"] > 10.0
+    # Speedups grow monotonically with GPU count for every workload.
+    for row in result.rows:
+        series = [row[f"x{n}"] for n in (1, 2, 4, 8, 16)]
+        assert all(b >= a * 0.95 for a, b in zip(series, series[1:])), row

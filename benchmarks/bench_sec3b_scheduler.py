@@ -1,0 +1,29 @@
+"""Section III-B benchmark: CTA assignment policy ablation."""
+
+from repro.experiments import sec3b_scheduler
+from repro.system.metrics import geometric_mean
+
+
+def test_sec3b_cta_scheduler(benchmark):
+    result = benchmark.pedantic(
+        sec3b_scheduler.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+
+    rows = {r["workload"]: r for r in result.rows}
+    workloads = list(rows)
+    # Static chunked assignment beats round-robin overall (paper: 8%).
+    overall = geometric_mean(
+        [rows[w]["round_robin_us"] / rows[w]["static_us"] for w in workloads]
+    )
+    assert overall > 1.02
+    # Stealing is within 2% of static (paper: < 1% gain).
+    stealing = geometric_mean(
+        [rows[w]["static_us"] / rows[w]["stealing_us"] for w in workloads]
+    )
+    assert 0.98 < stealing < 1.05
+    # The locality mechanism: chunked assignment raises L2 hit rates for
+    # the stencil workloads (paper: up to +20% L2).
+    assert rows["SRAD"]["l2_hit_static"] > rows["SRAD"]["l2_hit_rr"]
+    assert rows["3DFD"]["l2_hit_static"] > rows["3DFD"]["l2_hit_rr"]

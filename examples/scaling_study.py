@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling study (the Fig. 19 experiment, configurable).
+
+Runs a workload on the unified memory network with 1..N GPUs and prints
+kernel-execution speedups, plus where the time goes at the largest scale.
+
+Usage::
+
+    python examples/scaling_study.py [workload] [scale] [max_gpus]
+"""
+
+import sys
+
+from repro import SystemConfig, get_spec, get_workload, run_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "SRAD"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    max_gpus = int(sys.argv[3]) if len(sys.argv) > 3 else 8
+
+    counts = [n for n in (1, 2, 4, 8, 16) if n <= max_gpus]
+    print(f"scaling {name} (scale={scale}) on UMN/sFBFLY over {counts} GPUs")
+    header = (
+        f"{'gpus':>5s} {'kernel':>11s} {'speedup':>8s} {'efficiency':>11s} "
+        f"{'L2 hit':>7s} {'net lat':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    base = None
+    for n in counts:
+        cfg = SystemConfig(num_gpus=n)
+        r = run_workload(get_spec("UMN"), get_workload(name, scale), cfg=cfg)
+        if base is None:
+            base = r.kernel_ps
+        speedup = base / r.kernel_ps
+        print(
+            f"{n:5d} {r.kernel_ps / 1e6:10.2f}us {speedup:7.2f}x "
+            f"{100 * speedup / n:9.1f}% {r.l2_hit_rate:7.2f} "
+            f"{r.avg_net_latency_ps / 1e3:7.1f}ns"
+        )
+    print(
+        "\nEfficiency falls when the input is too small to keep all SMs "
+        "busy (the paper's FWT case) or when per-phase memory latency "
+        "stops shrinking with added GPUs."
+    )
+
+
+if __name__ == "__main__":
+    main()

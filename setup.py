@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs on environments without the wheel
+package (the offline test image); configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""Command-line interface: ``repro <experiment>`` or ``python -m repro``.
+
+Examples::
+
+    repro list                 # show available experiments
+    repro fig14                # reproduce the Fig. 14 sweep and print it
+    repro fig14 --scale 0.1    # quicker, smaller inputs
+    repro run KMN --arch UMN   # run one workload on one architecture
+    repro all                  # run every experiment (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+from .system.configs import TABLE_III, get_spec
+from .system.run import run_workload
+from .workloads.suite import WORKLOAD_NAMES, get_workload
+
+#: Experiments whose runner takes a ``scale`` parameter.
+_SCALED = {"fig10", "fig14", "fig16", "fig17", "fig18", "sec3b", "ext-mapping"}
+
+
+def _run_experiment(
+    name: str, scale: Optional[float], save: Optional[str] = None
+) -> None:
+    runner = EXPERIMENTS[name]
+    kwargs = {}
+    if scale is not None and name in _SCALED:
+        kwargs["scale"] = scale
+    start = time.time()
+    result = runner(**kwargs)
+    print(result.render())
+    print(f"[{name} completed in {time.time() - start:.1f}s]")
+    if save:
+        result.save(save)
+        print(f"[saved to {save}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Multi-GPU System Design with Memory Networks' "
+            "(MICRO 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    for name in EXPERIMENTS:
+        p = sub.add_parser(name, help=f"reproduce {name}")
+        p.add_argument("--scale", type=float, default=None, help="problem scale")
+        p.add_argument(
+            "--save", default=None, help="export the rows (.csv or .json)"
+        )
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--scale", type=float, default=None)
+
+    p_run = sub.add_parser("run", help="run one workload on one architecture")
+    p_run.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_run.add_argument("--arch", default="UMN", choices=list(TABLE_III))
+    p_run.add_argument("--scale", type=float, default=0.25)
+
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("workloads:  ", ", ".join(WORKLOAD_NAMES))
+        print("architectures:", ", ".join(TABLE_III))
+        return 0
+    if args.command == "all":
+        for name in EXPERIMENTS:
+            if name == "fig17":
+                continue  # shares the fig16 sweep
+            _run_experiment(name, args.scale)
+            print()
+        return 0
+    if args.command == "run":
+        result = run_workload(
+            get_spec(args.arch), get_workload(args.workload, args.scale)
+        )
+        for key, value in result.as_row().items():
+            print(f"{key:20s} {value}")
+        return 0
+    _run_experiment(args.command, args.scale, args.save)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

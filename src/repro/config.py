@@ -1,0 +1,236 @@
+"""System configuration dataclasses.
+
+These encode Table I of the paper (GPU, CPU, and HMC parameters) plus the
+interconnect parameters given in Section VI-A.  Every simulator component
+takes its parameters from these dataclasses so that experiments can sweep
+them without touching component code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import GB, KB, MB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of a set-associative cache."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    hit_latency_ps: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"{self.ways} ways x {self.line_bytes} B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Per-GPU parameters (Table I, "GPU" section)."""
+
+    num_sms: int = 64
+    hmcs_per_gpu: int = 4
+    max_ctas_per_sm: int = 8
+    max_threads_per_sm: int = 1024
+    simd_width: int = 32
+    registers_per_sm: int = 32768
+    shared_mem_per_sm: int = 48 * KB
+    #: Outstanding L1 misses allowed per SM before issue stalls.
+    mshrs_per_sm: int = 64
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * KB, 4, 128, 714 * 2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * MB, 16, 128, 1_429 * 8)
+    )
+    #: High-speed channels on the GPU package (Section VI-A: 8 per GPU).
+    num_channels: int = 8
+
+    @property
+    def channels_per_local_hmc(self) -> int:
+        return max(1, self.num_channels // self.hmcs_per_gpu)
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Host CPU parameters (Table I, "CPU" section).
+
+    The out-of-order core is modeled as a latency-bound memory client with a
+    bounded number of outstanding misses (its effective memory-level
+    parallelism); see DESIGN.md section 2.
+    """
+
+    issue_width: int = 4
+    rob_size: int = 64
+    line_bytes: int = 64
+    l1_hit_ps: int = 2 * 250
+    l2_hit_ps: int = 10 * 250
+    l2_size_bytes: int = 16 * MB
+    #: Effective memory-level parallelism of the OoO core.
+    max_outstanding: int = 8
+    num_channels: int = 8
+    hmcs_per_cpu: int = 4
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DRAM timing parameters in DRAM clock cycles (Table I, tCK = 1.25 ns)."""
+
+    tCK_ps: int = 1_250
+    tRP: int = 11
+    tCCD: int = 4
+    tRCD: int = 11
+    tCL: int = 11
+    tWR: int = 12
+    tRAS: int = 22
+
+    @property
+    def tRC(self) -> int:
+        """Minimum time between activates to the same bank."""
+        return self.tRAS + self.tRP
+
+    def ps(self, cycles: int) -> int:
+        return cycles * self.tCK_ps
+
+
+@dataclass(frozen=True)
+class HMCConfig:
+    """Hybrid Memory Cube parameters (Table I, "HMC" section)."""
+
+    num_layers: int = 8
+    num_vaults: int = 16
+    banks_per_vault: int = 16
+    capacity_bytes: int = 4 * GB
+    vault_queue_entries: int = 16
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    #: Row size per bank; with 4 GB / 16 vaults / 16 banks and 8 layers this
+    #: gives 2 KB rows, a typical HMC DRAM partition row size.
+    row_bytes: int = 2 * KB
+    #: Internal vault data bus width in bytes per DRAM cycle.
+    vault_bus_bytes_per_cycle: int = 16
+    num_channels: int = 8
+
+    @property
+    def bytes_per_vault(self) -> int:
+        return self.capacity_bytes // self.num_vaults
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Memory-network parameters (Section VI-A)."""
+
+    #: Per-direction bandwidth of one high-speed channel.
+    channel_gbps: float = 20.0
+    #: Router clock (HMC logic layer).
+    router_cycle_ps: int = 800
+    #: Router pipeline depth in router cycles.
+    pipeline_stages: int = 4
+    #: SerDes latency, per traversal (Section VI-A: 3.2 ns).
+    serdes_ps: int = 3_200
+    #: Pass-through hop latency (overlay network, Section V-C): the packet
+    #: bypasses the SerDes and router datapath.
+    passthrough_ps: int = 800
+    message_classes: int = 2
+    vcs_per_class: int = 6
+    vc_buffer_bytes: int = 512
+    #: Read/write request header size (HMC-style packetized interface).
+    header_bytes: int = 16
+
+    @property
+    def hop_latency_ps(self) -> int:
+        """Latency of a normal (non pass-through) router traversal."""
+        return self.pipeline_stages * self.router_cycle_ps + self.serdes_ps
+
+
+@dataclass(frozen=True)
+class PCIeConfig:
+    """16-lane PCIe v3.0 channel model (Section VI-A: 15.75 GB/s)."""
+
+    gbps: float = 15.75
+    #: One-way transaction latency through the switch fabric.
+    latency_ps: int = 600 * 1_000
+    header_bytes: int = 24
+
+
+@dataclass(frozen=True)
+class PCNConfig:
+    """Processor-centric network a la NVLink (Fig. 1(b)).
+
+    Point-to-point high-speed links between processors: every GPU pair gets
+    ``links_per_pair`` links and the CPU gets ``cpu_links_per_gpu`` links to
+    each GPU.  Remote GPU memory still traverses the remote GPU (the
+    processor-centric limitation the paper contrasts with memory networks).
+    """
+
+    link_gbps: float = 20.0
+    links_per_pair: int = 1
+    cpu_links_per_gpu: int = 1
+    #: One-way link latency (short on-board SerDes links).
+    latency_ps: int = 200_000
+    header_bytes: int = 16
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Interconnect energy model from [5] (Section VI-A)."""
+
+    active_pj_per_bit: float = 2.0
+    idle_pj_per_bit: float = 1.5
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full-system configuration tying all components together."""
+
+    num_gpus: int = 4
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    hmc: HMCConfig = field(default_factory=HMCConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    pcie: PCIeConfig = field(default_factory=PCIeConfig)
+    pcn: PCNConfig = field(default_factory=PCNConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    page_bytes: int = 4 * KB
+    #: Granularity of interleaving across a cluster's local HMCs
+    #: ("line" = the paper's mapping; "page" = the Section V-A ablation).
+    intra_cluster_interleave: str = "line"
+    #: Network engine: "packet" (fast, default) or "flit" (wormhole +
+    #: virtual channels + credits, several times slower; validation use).
+    network_model: str = "packet"
+    #: Seed for page placement and any stochastic tie-breaking.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigError("num_gpus must be >= 1")
+        if self.page_bytes % self.gpu.l2.line_bytes:
+            raise ConfigError("page size must be a multiple of the line size")
+
+    @property
+    def num_gpu_hmcs(self) -> int:
+        return self.num_gpus * self.gpu.hmcs_per_gpu
+
+    @property
+    def num_clusters(self) -> int:
+        """GPU clusters only; the CPU cluster is added by UMN/CMN builders."""
+        return self.num_gpus
+
+    def scaled(self, **overrides) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
+#: The default 4GPU-16HMC configuration used throughout the evaluation.
+DEFAULT_CONFIG = SystemConfig()

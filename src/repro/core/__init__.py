@@ -1,0 +1,48 @@
+"""SKE core: the paper's primary contribution.
+
+- :class:`~repro.core.address.AddressMapping` — the
+  ``RW:CLH:BK:CT:VL:LC:CLL:BY`` physical address mapping.
+- :class:`~repro.core.page_table.PageTable` / ``PagePlacement`` — shared
+  virtual memory with page-grain cluster placement.
+- :class:`~repro.core.kernel.Kernel` / ``Phase`` / ``Access`` — the
+  unmodified single-GPU kernel abstraction.
+- CTA schedulers (:mod:`~repro.core.cta_scheduler`): static chunked,
+  round-robin, and dynamic stealing.
+- :class:`~repro.core.virtual_gpu.VirtualGPU` — the SKE runtime that makes N
+  GPUs look like one.
+"""
+
+from .address import AddressMapping
+from .cta_scheduler import (
+    SCHEDULE_POLICIES,
+    KernelSchedule,
+    RoundRobinSchedule,
+    StaticChunkSchedule,
+    StealingSchedule,
+    make_schedule,
+    partition_chunks,
+)
+from .kernel import Access, CTAProgram, Kernel, Phase, flatten_index, unflatten_index
+from .page_table import PagePlacement, PageTable
+from .virtual_gpu import KernelLaunch, VirtualGPU
+
+__all__ = [
+    "AddressMapping",
+    "SCHEDULE_POLICIES",
+    "KernelSchedule",
+    "RoundRobinSchedule",
+    "StaticChunkSchedule",
+    "StealingSchedule",
+    "make_schedule",
+    "partition_chunks",
+    "Access",
+    "CTAProgram",
+    "Kernel",
+    "Phase",
+    "flatten_index",
+    "unflatten_index",
+    "PagePlacement",
+    "PageTable",
+    "KernelLaunch",
+    "VirtualGPU",
+]

@@ -1,0 +1,187 @@
+"""CTA assignment across the GPUs of the virtual GPU (Section III-B).
+
+Three policies from the paper:
+
+- **static chunked** (the one SKE adopts): the flattened CTA range is split
+  into ``n`` contiguous chunks, one per GPU — adjacent CTAs tend to access
+  neighbouring memory, so chunking preserves cache locality.
+- **round robin**: fine-grained striping of CTAs across GPUs [37]; the
+  locality-destroying baseline the paper measures 8% slower overall.
+- **stealing**: static chunks complemented by a dynamic two-level scheduler —
+  a GPU that runs out of its own CTAs steals not-yet-started CTAs from the
+  most loaded GPU.  The paper found <1% gain because large grids rarely
+  load-imbalance.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, List, Optional, Sequence
+
+from ..errors import SchedulerError
+
+
+def partition_chunks(num_ctas: int, num_gpus: int) -> List[range]:
+    """Split ``range(num_ctas)`` into ``num_gpus`` contiguous chunks.
+
+    The first ``num_ctas % num_gpus`` chunks get one extra CTA, so sizes
+    differ by at most one and the concatenation covers the full range in
+    order.
+    """
+    if num_gpus < 1:
+        raise SchedulerError("need at least one GPU")
+    if num_ctas < 0:
+        raise SchedulerError("negative CTA count")
+    base, extra = divmod(num_ctas, num_gpus)
+    chunks: List[range] = []
+    start = 0
+    for g in range(num_gpus):
+        size = base + (1 if g < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+class KernelSchedule:
+    """Per-launch CTA dispenser; GPUs pull CTAs as SM slots free up."""
+
+    policy = "abstract"
+
+    def __init__(self, num_ctas: int, num_gpus: int) -> None:
+        if num_ctas < 0 or num_gpus < 1:
+            raise SchedulerError(
+                f"invalid schedule: {num_ctas} CTAs over {num_gpus} GPUs"
+            )
+        self.num_ctas = num_ctas
+        self.num_gpus = num_gpus
+        self.dispensed = 0
+
+    def next_cta(self, gpu_id: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def has_work(self, gpu_id: int) -> bool:
+        """Non-consuming: would ``next_cta(gpu_id)`` return a CTA now?"""
+        raise NotImplementedError
+
+    @property
+    def exhausted(self) -> bool:
+        return self.dispensed >= self.num_ctas
+
+    def _check_gpu(self, gpu_id: int) -> None:
+        if not 0 <= gpu_id < self.num_gpus:
+            raise SchedulerError(f"GPU id {gpu_id} out of range")
+
+
+class StaticChunkSchedule(KernelSchedule):
+    """Contiguous 1/n chunks; a GPU only ever runs its own chunk."""
+
+    policy = "static"
+
+    def __init__(self, num_ctas: int, num_gpus: int) -> None:
+        super().__init__(num_ctas, num_gpus)
+        self._queues: List[Deque[int]] = [
+            collections.deque(chunk) for chunk in partition_chunks(num_ctas, num_gpus)
+        ]
+
+    def next_cta(self, gpu_id: int) -> Optional[int]:
+        self._check_gpu(gpu_id)
+        queue = self._queues[gpu_id]
+        if not queue:
+            return None
+        self.dispensed += 1
+        return queue.popleft()
+
+    def has_work(self, gpu_id: int) -> bool:
+        self._check_gpu(gpu_id)
+        return bool(self._queues[gpu_id])
+
+
+class RoundRobinSchedule(KernelSchedule):
+    """CTA ``i`` belongs to GPU ``i % n`` (fine-grained striping)."""
+
+    policy = "round_robin"
+
+    def __init__(self, num_ctas: int, num_gpus: int) -> None:
+        super().__init__(num_ctas, num_gpus)
+        self._queues: List[Deque[int]] = [
+            collections.deque(range(g, num_ctas, num_gpus)) for g in range(num_gpus)
+        ]
+
+    def next_cta(self, gpu_id: int) -> Optional[int]:
+        self._check_gpu(gpu_id)
+        queue = self._queues[gpu_id]
+        if not queue:
+            return None
+        self.dispensed += 1
+        return queue.popleft()
+
+    def has_work(self, gpu_id: int) -> bool:
+        self._check_gpu(gpu_id)
+        return bool(self._queues[gpu_id])
+
+
+class StealingSchedule(KernelSchedule):
+    """Static chunks + stealing from the most loaded GPU when idle.
+
+    Steals come from the *tail* of the victim's queue so the victim keeps
+    its cache-friendly leading CTAs.
+    """
+
+    policy = "stealing"
+
+    def __init__(self, num_ctas: int, num_gpus: int) -> None:
+        super().__init__(num_ctas, num_gpus)
+        self._queues: List[Deque[int]] = [
+            collections.deque(chunk) for chunk in partition_chunks(num_ctas, num_gpus)
+        ]
+        self.steals = 0
+        self._stealing_enabled = False
+
+    def enable_stealing(self) -> None:
+        """Arm stealing once every GPU has taken its initial assignment.
+
+        Until then a GPU that drains its own chunk gets None — otherwise the
+        first GPU to fill its SMs at launch time would raid the chunks of
+        GPUs that have not started yet, which is not what the paper's
+        "steal when a core becomes idle" policy means.
+        """
+        self._stealing_enabled = True
+
+    def next_cta(self, gpu_id: int) -> Optional[int]:
+        self._check_gpu(gpu_id)
+        queue = self._queues[gpu_id]
+        if queue:
+            self.dispensed += 1
+            return queue.popleft()
+        if not self._stealing_enabled:
+            return None
+        victim = max(range(self.num_gpus), key=lambda g: len(self._queues[g]))
+        if not self._queues[victim]:
+            return None
+        self.dispensed += 1
+        self.steals += 1
+        return self._queues[victim].pop()
+
+    def has_work(self, gpu_id: int) -> bool:
+        self._check_gpu(gpu_id)
+        if self._queues[gpu_id]:
+            return True
+        return self._stealing_enabled and any(self._queues)
+
+
+SCHEDULE_POLICIES = {
+    "static": StaticChunkSchedule,
+    "round_robin": RoundRobinSchedule,
+    "stealing": StealingSchedule,
+}
+
+
+def make_schedule(policy: str, num_ctas: int, num_gpus: int) -> KernelSchedule:
+    """Instantiate a CTA schedule by policy name."""
+    try:
+        cls = SCHEDULE_POLICIES[policy]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown CTA policy {policy!r}; available: {sorted(SCHEDULE_POLICIES)}"
+        ) from None
+    return cls(num_ctas, num_gpus)

@@ -1,0 +1,150 @@
+"""The SKE runtime: a single *virtual* GPU over N physical GPUs.
+
+Applications enqueue unmodified single-GPU kernels into the virtual GPU's
+command queue (Fig. 5).  For each launch, the runtime creates one kernel
+launch command per physical GPU carrying that GPU's CTA range (the chosen
+:mod:`CTA schedule <repro.core.cta_scheduler>`); the kernel completes when
+every GPU finished its share and drained its writes.  Launches in the queue
+execute in order, matching the in-order CUDA stream semantics the paper
+assumes.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..sim.engine import Simulator
+from .cta_scheduler import KernelSchedule, make_schedule
+from .kernel import Kernel
+
+
+@dataclass
+class KernelLaunch:
+    """Record of one kernel launch through the virtual GPU."""
+
+    kernel: Kernel
+    schedule: KernelSchedule
+    enqueued_ps: int
+    started_ps: int = -1
+    finished_ps: int = -1
+    on_done: Optional[Callable[[], None]] = None
+
+    @property
+    def runtime_ps(self) -> int:
+        if self.finished_ps < 0 or self.started_ps < 0:
+            raise SimulationError(f"kernel {self.kernel.name} has not finished")
+        return self.finished_ps - self.started_ps
+
+
+class VirtualGPU:
+    """SKE's single-virtual-GPU abstraction (Section III-A).
+
+    With ``concurrent=True`` the command queue behaves like independent
+    CUDA streams: every enqueued kernel launches immediately and kernels
+    share the GPUs' SMs — the concurrent-kernel-execution extension the
+    paper leaves as future work (Section III).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpus: Sequence,
+        policy: str = "static",
+        concurrent: bool = False,
+    ) -> None:
+        if not gpus:
+            raise SimulationError("virtual GPU needs at least one physical GPU")
+        self.sim = sim
+        self.gpus = list(gpus)
+        self.policy = policy
+        self.concurrent = concurrent
+        self.launches: List[KernelLaunch] = []
+        self._queue: Deque[KernelLaunch] = collections.deque()
+        self._active: Optional[KernelLaunch] = None
+        self._active_count = 0
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel, on_done: Optional[Callable[[], None]] = None) -> KernelLaunch:
+        """Enqueue a kernel into the virtual GPU command queue."""
+        schedule = make_schedule(self.policy, kernel.num_ctas, self.num_gpus)
+        launch = KernelLaunch(
+            kernel=kernel,
+            schedule=schedule,
+            enqueued_ps=self.sim.now,
+            on_done=on_done,
+        )
+        self.launches.append(launch)
+        if self.concurrent:
+            self._begin(launch)
+        else:
+            self._queue.append(launch)
+            if self._active is None:
+                self._start_next()
+        return launch
+
+    def launch_sequence(
+        self, kernels: Sequence[Kernel], on_done: Optional[Callable[[], None]] = None
+    ) -> List[KernelLaunch]:
+        """Enqueue several dependent kernels; ``on_done`` fires after the last."""
+        kernels = list(kernels)
+        if not kernels:
+            if on_done is not None:
+                self.sim.after(0, on_done)
+            return []
+        launches = [self.launch(k) for k in kernels[:-1]]
+        launches.append(self.launch(kernels[-1], on_done))
+        return launches
+
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        launch = self._queue.popleft()
+        self._active = launch
+        self._begin(launch)
+
+    def _begin(self, launch: KernelLaunch) -> None:
+        launch.started_ps = self.sim.now
+        self._active_count += 1
+        remaining = {"gpus": self.num_gpus}
+
+        def gpu_done() -> None:
+            remaining["gpus"] -= 1
+            if remaining["gpus"] == 0:
+                self._finish(launch)
+
+        for gpu in self.gpus:
+            gpu.launch(
+                launch.kernel, launch.schedule, gpu_done, concurrent=self.concurrent
+            )
+        # With the stealing policy, stealing only arms after every GPU took
+        # its initial assignment (Section III-B); idle GPUs then refill.
+        enable = getattr(launch.schedule, "enable_stealing", None)
+        if enable is not None:
+            enable()
+            for gpu in self.gpus:
+                gpu.try_refill()
+
+    def _finish(self, launch: KernelLaunch) -> None:
+        launch.finished_ps = self.sim.now
+        self._active_count -= 1
+        if launch.on_done is not None:
+            launch.on_done()
+        if not self.concurrent:
+            self._active = None
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self._active_count == 0 and not self._queue
+
+    def total_kernel_ps(self) -> int:
+        return sum(l.runtime_ps for l in self.launches)

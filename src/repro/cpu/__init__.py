@@ -1,0 +1,5 @@
+"""Host CPU substrate."""
+
+from .host import HostAccess, HostCPU, HostPhase, HostStats
+
+__all__ = ["HostAccess", "HostCPU", "HostPhase", "HostStats"]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TopologyError(ReproError):
+    """A topology could not be constructed or routed."""
+
+    def __init__(self, message: str, *, topology: str = "") -> None:
+        super().__init__(message)
+        self.topology = topology
+
+
+class RoutingError(TopologyError):
+    """No route exists between two endpoints."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state (e.g. lost request)."""
+
+
+class AddressError(ReproError):
+    """An address could not be translated or decoded."""
+
+
+class SchedulerError(ReproError):
+    """CTA scheduling produced an invalid assignment."""

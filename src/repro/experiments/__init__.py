@@ -1,0 +1,50 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> ExperimentResult`` whose rows are the
+series the paper reports; ``ExperimentResult.render()`` prints them with
+the paper's claim alongside.  The registry below maps experiment ids to
+their runners (used by the CLI and the benchmark suite).
+"""
+
+from typing import Callable, Dict
+
+from . import (
+    ext_concurrent,
+    ext_flit_validation,
+    ext_latency_load,
+    ext_mapping,
+    ext_pcn,
+    ext_sensitivity,
+    fig07_remote_access,
+    fig10_traffic,
+    fig12_channels,
+    fig14_organizations,
+    fig15_adaptive,
+    fig16_fig17_topologies,
+    fig18_overlay,
+    fig19_scaling,
+    sec3b_scheduler,
+)
+from .common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig7": fig07_remote_access.run,
+    "fig10": fig10_traffic.run,
+    "fig12": fig12_channels.run,
+    "fig14": fig14_organizations.run,
+    "fig15": fig15_adaptive.run,
+    "fig16": fig16_fig17_topologies.run,
+    "fig17": fig16_fig17_topologies.run,  # energy shares the Fig. 16 sweep
+    "fig18": fig18_overlay.run,
+    "fig19": fig19_scaling.run,
+    "sec3b": sec3b_scheduler.run,
+    # Extensions beyond the paper (DESIGN.md section 7a).
+    "ext-mapping": ext_mapping.run,
+    "ext-concurrent": ext_concurrent.run,
+    "ext-latency-load": ext_latency_load.run,
+    "ext-pcn": ext_pcn.run,
+    "ext-flit": ext_flit_validation.run,
+    "ext-sensitivity": ext_sensitivity.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,115 @@
+"""Shared experiment plumbing: result tables, rendering, and export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of reproducing one table or figure.
+
+    ``rows`` are flat dicts (one per reported data point); ``paper_note``
+    records what the paper claims so reports can show paper-vs-measured
+    side by side.
+    """
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    paper_note: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **fields: object) -> None:
+        self.rows.append(fields)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def render(self) -> str:
+        """Plain-text table, suitable for terminal output and reports."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.paper_note:
+            lines.append(f"paper: {self.paper_note}")
+        cols = self.columns()
+        if self.rows:
+            widths = {
+                c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in self.rows))
+                for c in cols
+            }
+            header = "  ".join(c.ljust(widths[c]) for c in cols)
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in cols)
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """The rows as CSV text (header from the union of row keys)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns())
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """The full result (metadata + rows + notes) as JSON text."""
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "paper_note": self.paper_note,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def save(self, path: str) -> None:
+        """Write to ``path``; format chosen by extension (.csv or .json)."""
+        if path.endswith(".csv"):
+            payload = self.to_csv()
+        elif path.endswith(".json"):
+            payload = self.to_json()
+        else:
+            raise ValueError(f"unsupported extension for {path!r} (.csv/.json)")
+        with open(path, "w") as handle:
+            handle.write(payload)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def normalize(values: Sequence[float], to: Optional[float] = None) -> List[float]:
+    """Normalize a series to its first element (or an explicit baseline)."""
+    base = values[0] if to is None else to
+    if base == 0:
+        raise ZeroDivisionError("cannot normalize to zero")
+    return [v / base for v in values]

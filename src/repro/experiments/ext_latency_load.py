@@ -1,0 +1,87 @@
+"""Extension — latency-vs-load characterization of the memory networks.
+
+The classic interconnection-network methodology ([46], Dally & Towles):
+inject uniform-random read-request/response traffic from every GPU at a
+controlled offered load (fraction of each GPU's injection bandwidth) and
+measure average packet latency.  The saturation point of each topology is
+the headroom behind the Fig. 16 application results: sFBFLY saturates last
+among equal-channel sliced designs because it pairs the lowest hop count
+with the highest bisection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..config import NetworkConfig
+from ..network.network import MemoryNetwork
+from ..network.packet import Packet, PacketKind
+from ..network.topologies import build_topology
+from ..network.traffic import get_pattern
+from ..sim.engine import Simulator
+from .common import ExperimentResult
+
+TOPOLOGIES = ("smesh", "storus", "sfbfly", "dfbfly", "ddfly")
+LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def _measure(
+    topology: str,
+    load: float,
+    num_gpus: int,
+    packets_per_gpu: int,
+    seed: int,
+    pattern: str = "uniform",
+) -> float:
+    """Average request latency (ns) at the given offered load."""
+    sim = Simulator()
+    cfg = NetworkConfig()
+    topo = build_topology(topology, num_gpus=num_gpus)
+    net = MemoryNetwork(sim, topo, cfg)
+    for r in range(topo.num_routers):
+        net.set_router_handler(r, lambda p: None)
+
+    rng = random.Random(seed)
+    pattern_fn = get_pattern(pattern)
+    size = 144  # a read response-sized packet (header + half a line)
+    # Offered load: fraction of one GPU's aggregate injection bandwidth.
+    gpu_bytes_per_ps = 8 * 20.0 * (1 << 30) / 1e12
+    interval = max(1, round(size / (gpu_bytes_per_ps * load)))
+    for g in range(num_gpus):
+        t = rng.randrange(interval)
+        for i in range(packets_per_gpu):
+            src_index = g * packets_per_gpu + i
+            dst = pattern_fn(src_index, topo.num_routers, rng) % topo.num_routers
+            packet = Packet(PacketKind.READ_REQ, f"gpu{g}", dst, size)
+            sim.at(t, (lambda p=packet: net.send(p)))
+            t += interval
+    sim.run()
+    return net.stats.avg_latency_ps / 1e3
+
+
+def run(
+    topologies: Sequence[str] = TOPOLOGIES,
+    loads: Sequence[float] = LOADS,
+    num_gpus: int = 4,
+    packets_per_gpu: int = 400,
+    seed: int = 5,
+    pattern: str = "uniform",
+) -> ExperimentResult:
+    result = ExperimentResult(
+        "Ext: latency-load",
+        f"Synthetic '{pattern}' traffic: average latency vs offered load",
+        paper_note=(
+            "methodology from [46]; explains the Fig. 16 ordering — sFBFLY "
+            "has the flattest curve among sliced designs"
+        ),
+    )
+    for topology in topologies:
+        row = {"topology": topology}
+        for load in loads:
+            latency = _measure(
+                topology, load, num_gpus, packets_per_gpu, seed, pattern
+            )
+            row[f"lat@{load:.0%}"] = round(latency, 1)
+        result.add(**row)
+    return result

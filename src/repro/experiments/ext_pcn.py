@@ -1,0 +1,68 @@
+"""Extension — memory networks vs an NVLink-style processor-centric network.
+
+Section II-B of the paper positions NVLink (Fig. 1(b)) as the
+contemporaneous alternative: high-bandwidth point-to-point processor links,
+"but the topologies are limited to processor-centric network (PCN)".  This
+experiment quantifies that contrast on our substrate: the PCN removes the
+PCIe bottleneck, yet remote memory still traverses the owning GPU and the
+host copy remains, so the memory-network organizations (GMN kernel time,
+UMN overall) stay ahead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SystemConfig
+from ..system.configs import get_spec
+from ..system.metrics import geometric_mean
+from ..system.run import run_workload
+from ..workloads.suite import get_workload
+from .common import ExperimentResult
+
+ARCHS = ("PCIe", "NVLink", "GMN", "UMN")
+DEFAULT_WORKLOADS = ("BP", "BFS", "KMN", "SCAN", "CP")
+
+
+def run(
+    scale: float = 0.25,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    cfg: Optional[SystemConfig] = None,
+) -> ExperimentResult:
+    cfg = cfg or SystemConfig()
+    result = ExperimentResult(
+        "Ext: PCN",
+        "Memory networks vs NVLink-style processor-centric network "
+        "(extension; Section II-B contrast)",
+        paper_note=(
+            "NVLink provides high processor-to-processor bandwidth but stays "
+            "processor-centric: remote memory still crosses the remote GPU"
+        ),
+    )
+    totals = {a: {} for a in ARCHS}
+    for name in workloads:
+        for arch in ARCHS:
+            r = run_workload(get_spec(arch), get_workload(name, scale), cfg=cfg)
+            totals[arch][name] = r.kernel_ps + r.memcpy_ps
+            result.add(
+                workload=name,
+                arch=arch,
+                kernel_us=r.kernel_ps / 1e6,
+                memcpy_us=r.memcpy_ps / 1e6,
+                total_us=(r.kernel_ps + r.memcpy_ps) / 1e6,
+            )
+
+    def geo(arch: str) -> float:
+        return geometric_mean(
+            [totals["PCIe"][w] / totals[arch][w] for w in workloads]
+        )
+
+    result.note(
+        f"speedup over PCIe (geomean): NVLink {geo('NVLink'):.1f}x, "
+        f"GMN {geo('GMN'):.1f}x, UMN {geo('UMN'):.1f}x"
+    )
+    result.note(
+        "the PCN closes much of the PCIe gap but the unified memory network "
+        "stays ahead by removing both the copy and the remote-GPU traversal"
+    )
+    return result

@@ -1,0 +1,100 @@
+"""Extension — sensitivity of the headline conclusions to model constants.
+
+A reproduction built on a simplified simulator owes the reader an answer to
+"would the conclusions change if your constants are off?".  This experiment
+perturbs the most influential modeling parameters — SerDes latency, channel
+bandwidth, vault queue depth, PCIe latency — by 2x in each direction and
+re-measures two headline quantities:
+
+- the UMN total-runtime speedup over PCIe (Fig. 14's message), and
+- the sFBFLY-vs-sMESH kernel-time ratio (Fig. 16's message).
+
+Both must stay on the same side of 1.0 for every perturbation; the table
+shows by how much they move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..config import SystemConfig
+from ..system.configs import get_spec
+from ..system.run import run_workload
+from ..workloads.suite import get_workload
+from .common import ExperimentResult
+
+
+def _umn_speedup(cfg: SystemConfig, workload, scale: float) -> float:
+    pcie = run_workload(get_spec("PCIe"), get_workload(workload, scale), cfg=cfg)
+    umn = run_workload(get_spec("UMN"), get_workload(workload, scale), cfg=cfg)
+    return (pcie.kernel_ps + pcie.memcpy_ps) / (umn.kernel_ps + umn.memcpy_ps)
+
+
+def _sfbfly_ratio(cfg: SystemConfig, workload, scale: float) -> float:
+    mesh = run_workload(
+        get_spec("GMN").with_(topology="smesh"), get_workload(workload, scale), cfg=cfg
+    )
+    sfb = run_workload(
+        get_spec("GMN").with_(topology="sfbfly"), get_workload(workload, scale), cfg=cfg
+    )
+    return mesh.kernel_ps / sfb.kernel_ps
+
+
+def _variants(base: SystemConfig):
+    net = base.network
+    yield "baseline", base
+    for factor, tag in ((0.5, "x0.5"), (2.0, "x2")):
+        yield f"serdes {tag}", dataclasses.replace(
+            base, network=dataclasses.replace(net, serdes_ps=int(net.serdes_ps * factor))
+        )
+        yield f"channel bw {tag}", dataclasses.replace(
+            base,
+            network=dataclasses.replace(net, channel_gbps=net.channel_gbps * factor),
+        )
+        yield f"vault queue {tag}", dataclasses.replace(
+            base,
+            hmc=dataclasses.replace(
+                base.hmc, vault_queue_entries=max(1, int(16 * factor))
+            ),
+        )
+        yield f"pcie latency {tag}", dataclasses.replace(
+            base, pcie=dataclasses.replace(base.pcie, latency_ps=int(base.pcie.latency_ps * factor))
+        )
+
+
+def run(
+    workload: str = "BP",
+    scale: float = 0.25,
+    cfg: Optional[SystemConfig] = None,
+) -> ExperimentResult:
+    base = cfg or SystemConfig()
+    result = ExperimentResult(
+        "Ext: sensitivity",
+        "Headline conclusions under 2x parameter perturbations",
+        paper_note=(
+            "robustness check: UMN > PCIe and sFBFLY > sMESH must survive "
+            "every perturbation"
+        ),
+    )
+    for label, variant in _variants(base):
+        result.add(
+            parameter=label,
+            umn_speedup_vs_pcie=round(_umn_speedup(variant, workload, scale), 2),
+            sfbfly_speedup_vs_smesh=round(_sfbfly_ratio(variant, workload, scale), 2),
+        )
+    baseline = result.rows[0]
+    result.note(
+        f"baseline: UMN {baseline['umn_speedup_vs_pcie']}x, "
+        f"sFBFLY {baseline['sfbfly_speedup_vs_smesh']}x on {workload}"
+    )
+    flipped = [
+        r["parameter"]
+        for r in result.rows
+        if r["umn_speedup_vs_pcie"] <= 1.0 or r["sfbfly_speedup_vs_smesh"] <= 1.0
+    ]
+    result.note(
+        "no perturbation flips a conclusion" if not flipped
+        else f"FLIPPED under: {flipped}"
+    )
+    return result

@@ -1,0 +1,82 @@
+"""Fig. 14 — runtime breakdown across the Table III architectures.
+
+For every Table II workload, run all seven architectures and report the
+kernel / memcpy / host breakdown.  The paper's headline claims:
+
+- UMN is fastest everywhere (8.5x lower total runtime than PCIe overall);
+- GMN cuts kernel time up to 8.8x (BP) and 3.5x on average vs PCIe;
+- CMN / CMN-ZC cut total runtime 1.8x / 2.2x vs PCIe;
+- GMN-ZC equals PCIe-ZC (the GPU network is never touched);
+- for 3DFD, BP, SCAN memcpy exceeds kernel time, so zero-copy wins there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..config import SystemConfig
+from ..system.configs import TABLE_III, get_spec
+from ..system.metrics import RunResult, geometric_mean
+from ..system.run import run_workload
+from ..workloads.suite import WORKLOAD_NAMES, get_workload
+from .common import ExperimentResult
+
+ARCHS = list(TABLE_III)
+
+
+def run(
+    scale: float = 0.25,
+    workloads: Optional[Sequence[str]] = None,
+    cfg: Optional[SystemConfig] = None,
+) -> ExperimentResult:
+    cfg = cfg or SystemConfig()
+    workloads = list(workloads or WORKLOAD_NAMES)
+    result = ExperimentResult(
+        "Fig. 14",
+        "Runtime breakdown per multi-GPU architecture",
+        paper_note=(
+            "UMN fastest (8.5x vs PCIe overall); GMN kernel up to 8.8x (BP), "
+            "3.5x avg; CMN/CMN-ZC 1.8x/2.2x; GMN-ZC == PCIe-ZC"
+        ),
+    )
+    by_arch: Dict[str, Dict[str, RunResult]] = {a: {} for a in ARCHS}
+    for name in workloads:
+        for arch in ARCHS:
+            r = run_workload(get_spec(arch), get_workload(name, scale), cfg=cfg)
+            by_arch[arch][name] = r
+            result.add(
+                workload=name,
+                arch=arch,
+                kernel_us=r.kernel_ps / 1e6,
+                memcpy_us=r.memcpy_ps / 1e6,
+                # Fig. 14 reports kernel + memcpy; host time is Fig. 18's
+                # metric and is shown here for reference only.
+                total_us=(r.kernel_ps + r.memcpy_ps) / 1e6,
+                host_us=r.host_ps / 1e6,
+            )
+
+    def _total(arch: str, w: str) -> int:
+        r = by_arch[arch][w]
+        return r.kernel_ps + r.memcpy_ps
+
+    def geo_speedup(arch: str) -> float:
+        return geometric_mean(
+            [_total("PCIe", w) / _total(arch, w) for w in workloads]
+        )
+
+    result.note(f"UMN total-runtime speedup over PCIe (geomean): {geo_speedup('UMN'):.1f}x (paper: 8.5x)")
+    result.note(f"CMN: {geo_speedup('CMN'):.1f}x, CMN-ZC: {geo_speedup('CMN-ZC'):.1f}x (paper: 1.8x / 2.2x)")
+    kernel_speedups = [
+        by_arch["PCIe"][w].kernel_ps / by_arch["GMN"][w].kernel_ps for w in workloads
+    ]
+    result.note(
+        f"GMN kernel speedup vs PCIe: max {max(kernel_speedups):.1f}x, "
+        f"geomean {geometric_mean(kernel_speedups):.1f}x (paper: 8.8x max, 3.5x avg)"
+    )
+    if "BP" in workloads:
+        bp = by_arch["PCIe"]["BP"]
+        result.note(
+            f"BP memcpy/kernel ratio on PCIe: {bp.memcpy_ps / bp.kernel_ps:.2f} "
+            "(paper: > 1, so zero-copy wins for BP/SCAN/3DFD)"
+        )
+    return result

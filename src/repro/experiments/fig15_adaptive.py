@@ -1,0 +1,55 @@
+"""Fig. 15 — minimal (MIN) vs load-balanced adaptive (UGAL) routing.
+
+On the distributor-based dragonfly and flattened butterfly (the topologies
+with intra-cluster path diversity), uniform workloads gain only ~1-2% from
+adaptive routing because random traffic self-balances, while the imbalanced
+CG.S gains ~9.5% on dFBFLY (Section VI-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..system.configs import get_spec
+from ..system.run import run_workload
+from ..workloads.suite import get_workload
+from .common import ExperimentResult
+
+#: (workload, scale): CG.S needs its full (imbalanced) footprint.
+DEFAULT_POINTS: Sequence[Tuple[str, float]] = (
+    ("KMN", 0.25),
+    ("CP", 0.25),
+    ("CG.S", 4.0),
+)
+
+
+def run(
+    points: Sequence[Tuple[str, float]] = DEFAULT_POINTS,
+    cfg: Optional[SystemConfig] = None,
+) -> ExperimentResult:
+    cfg = cfg or SystemConfig()
+    result = ExperimentResult(
+        "Fig. 15",
+        "MIN vs UGAL routing on dDFLY and dFBFLY (GMN)",
+        paper_note=(
+            "~1-2% for uniform workloads (KMN, CP); 9.5% for CG.S on dFBFLY"
+        ),
+    )
+    for topology in ("ddfly", "dfbfly"):
+        for name, scale in points:
+            runtimes: Dict[str, int] = {}
+            for routing in ("min", "ugal"):
+                spec = get_spec("GMN").with_(topology=topology, routing=routing)
+                runtimes[routing] = run_workload(
+                    spec, get_workload(name, scale), cfg=cfg
+                ).kernel_ps
+            gain = 100 * (runtimes["min"] - runtimes["ugal"]) / runtimes["min"]
+            result.add(
+                topology=topology,
+                workload=name,
+                min_us=runtimes["min"] / 1e6,
+                ugal_us=runtimes["ugal"] / 1e6,
+                ugal_gain_pct=round(gain, 1),
+            )
+    return result

@@ -1,0 +1,50 @@
+"""Fig. 18 — host-thread (CPU) performance on UMN designs.
+
+On a 1CPU-3GPU-16HMC unified memory network, the two workloads whose host
+thread computes between kernels (CG.S, FT.S) are run on sMESH, sFBFLY, and
+the proposed overlay (pass-through chains).  The overlay wins by slashing
+per-hop latency for CPU packets even though its chain paths have more hops
+(Section V-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..config import SystemConfig
+from ..system.configs import get_spec
+from ..system.run import run_workload
+from ..workloads.suite import get_workload
+from .common import ExperimentResult
+
+DESIGNS = ("smesh", "sfbfly", "overlay")
+
+
+def run(
+    scale: float = 1.0,
+    workloads: Sequence[str] = ("CG.S", "FT.S"),
+    cfg: Optional[SystemConfig] = None,
+) -> ExperimentResult:
+    cfg = cfg or SystemConfig()
+    cfg = dataclasses.replace(cfg, num_gpus=3)  # 1CPU-3GPU-16HMC
+    result = ExperimentResult(
+        "Fig. 18",
+        "Host-thread performance on UMN designs (1CPU-3GPU-16HMC)",
+        paper_note="overlay > sFBFLY > sMESH for CG.S and FT.S host threads",
+    )
+    for name in workloads:
+        baseline = None
+        for topology in DESIGNS:
+            spec = get_spec("UMN").with_(topology=topology)
+            r = run_workload(spec, get_workload(name, scale), cfg=cfg)
+            if baseline is None:
+                baseline = r.host_ps
+            result.add(
+                workload=name,
+                design=topology,
+                host_us=r.host_ps / 1e6,
+                host_speedup_vs_smesh=round(baseline / r.host_ps, 3),
+                kernel_us=r.kernel_ps / 1e6,
+            )
+    return result

@@ -1,0 +1,73 @@
+"""Section III-B — CTA scheduler study.
+
+Static chunked assignment vs fine-grained round-robin vs the dynamic
+two-level scheduler with CTA stealing.  The paper reports the static
+assignment 8% faster overall than round-robin (cache locality: L1 hit rate
+up to +43%, L2 up to +20%) and <1% gain from stealing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..config import SystemConfig
+from ..system.configs import get_spec
+from ..system.metrics import RunResult, geometric_mean
+from ..system.run import run_workload
+from ..workloads.suite import get_workload
+from .common import ExperimentResult
+
+POLICIES = ("static", "round_robin", "stealing")
+DEFAULT_WORKLOADS = ("BP", "SRAD", "KMN", "SCAN", "3DFD", "FWT", "STO", "CP")
+
+
+def run(
+    scale: float = 0.5,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    cfg: Optional[SystemConfig] = None,
+) -> ExperimentResult:
+    cfg = cfg or SystemConfig()
+    result = ExperimentResult(
+        "Sec. III-B",
+        "CTA assignment: static chunks vs round-robin vs stealing (UMN)",
+        paper_note=(
+            "static 8% faster than round-robin overall; L1 +43% / L2 +20% "
+            "max; stealing < 1%"
+        ),
+    )
+    runs: Dict[str, Dict[str, RunResult]] = {p: {} for p in POLICIES}
+    for name in workloads:
+        for policy in POLICIES:
+            spec = get_spec("UMN").with_(cta_policy=policy)
+            runs[policy][name] = run_workload(spec, get_workload(name, scale), cfg=cfg)
+        s, rr = runs["static"][name], runs["round_robin"][name]
+        result.add(
+            workload=name,
+            static_us=s.kernel_ps / 1e6,
+            round_robin_us=rr.kernel_ps / 1e6,
+            stealing_us=runs["stealing"][name].kernel_ps / 1e6,
+            l2_hit_static=round(s.l2_hit_rate, 3),
+            l2_hit_rr=round(rr.l2_hit_rate, 3),
+            l1_hit_static=round(s.l1_hit_rate, 3),
+            l1_hit_rr=round(rr.l1_hit_rate, 3),
+        )
+    overall = geometric_mean(
+        [
+            runs["round_robin"][w].kernel_ps / runs["static"][w].kernel_ps
+            for w in workloads
+        ]
+    )
+    stealing = geometric_mean(
+        [
+            runs["static"][w].kernel_ps / runs["stealing"][w].kernel_ps
+            for w in workloads
+        ]
+    )
+    l2_gain = max(
+        runs["static"][w].l2_hit_rate - runs["round_robin"][w].l2_hit_rate
+        for w in workloads
+    )
+    result.note(f"static vs round-robin speedup (geomean): {overall:.3f}x (paper: 1.08x)")
+    result.note(f"max L2 hit-rate gain: +{100 * l2_gain:.0f}pp (paper: up to +20%)")
+    result.note(f"stealing vs static: {stealing:.3f}x (paper: < 1.01x)")
+    return result

@@ -1,0 +1,7 @@
+"""GPU substrate: caches, SMs, and the GPU chip."""
+
+from .cache import Cache, CacheStats
+from .gpu import GPU, GPUStats
+from .sm import SM, SMStats
+
+__all__ = ["Cache", "CacheStats", "GPU", "GPUStats", "SM", "SMStats"]

@@ -1,0 +1,16 @@
+"""Hybrid Memory Cube substrate: DRAM banks, FR-FCFS vaults, the HMC device."""
+
+from .dram import Bank, BankStats, RowOutcome
+from .hmc import HMC, HMCStats
+from .vault import ATOMIC_ALU_PS, Vault, VaultStats
+
+__all__ = [
+    "Bank",
+    "BankStats",
+    "RowOutcome",
+    "HMC",
+    "HMCStats",
+    "ATOMIC_ALU_PS",
+    "Vault",
+    "VaultStats",
+]

@@ -1,0 +1,88 @@
+"""DRAM bank timing model for the HMC vaults.
+
+Open-row policy with the Table I timing parameters.  The model is
+command-level rather than cycle-accurate: each access is classified as a row
+hit / row empty / row conflict and charged the corresponding latency, while
+per-bank ``ready_at`` horizons and the shared vault data bus provide
+bank-level parallelism and serialization (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import DRAMTiming
+from ..mem import AccessType
+
+
+class RowOutcome(enum.Enum):
+    HIT = "hit"
+    EMPTY = "empty"
+    CONFLICT = "conflict"
+
+
+@dataclass
+class BankStats:
+    accesses: int = 0
+    hits: int = 0
+    conflicts: int = 0
+
+
+class Bank:
+    """One DRAM bank: an open row and an earliest-next-command horizon."""
+
+    __slots__ = ("open_row", "ready_at", "stats", "_last_was_write")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready_at: int = 0
+        self.stats = BankStats()
+        self._last_was_write = False
+
+    def classify(self, row: int) -> RowOutcome:
+        if self.open_row is None:
+            return RowOutcome.EMPTY
+        if self.open_row == row:
+            return RowOutcome.HIT
+        return RowOutcome.CONFLICT
+
+    def access(
+        self, row: int, access_type: AccessType, now_ps: int, timing: DRAMTiming
+    ) -> int:
+        """Issue an access; returns the time the data phase completes.
+
+        Updates the bank's open row and ``ready_at`` horizon.
+        """
+        outcome = self.classify(row)
+        issue = max(now_ps, self.ready_at)
+        if outcome is RowOutcome.HIT:
+            latency = timing.ps(timing.tCL)
+        elif outcome is RowOutcome.EMPTY:
+            latency = timing.ps(timing.tRCD + timing.tCL)
+        else:
+            extra_wr = timing.tWR if self._last_was_write else 0
+            latency = timing.ps(extra_wr + timing.tRP + timing.tRCD + timing.tCL)
+        data_done = issue + latency
+
+        # Command occupancy: the column access pipeline frees after tCCD; an
+        # activate additionally holds the bank for tRAS before it may be
+        # precharged again.
+        if outcome is RowOutcome.HIT:
+            occupancy = timing.ps(timing.tCCD)
+        else:
+            occupancy = max(timing.ps(timing.tRAS), latency - timing.ps(timing.tCL))
+        self.ready_at = issue + occupancy
+        self.open_row = row
+        self._last_was_write = access_type is AccessType.WRITE
+
+        self.stats.accesses += 1
+        if outcome is RowOutcome.HIT:
+            self.stats.hits += 1
+        elif outcome is RowOutcome.CONFLICT:
+            self.stats.conflicts += 1
+        return data_done
+
+    def earliest_issue(self, now_ps: int) -> int:
+        return max(now_ps, self.ready_at)

@@ -1,0 +1,156 @@
+"""Vault controller: FR-FCFS scheduling over the vault's DRAM banks.
+
+Each vault has a bounded request queue (Table I: 16 entries, FR-FCFS [48]);
+when the queue is full, arriving requests wait in the logic-layer overflow
+buffer and are admitted as entries free up.  The scheduler prefers row hits
+(first-ready) and breaks ties by age (first-come-first-served).
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..config import HMCConfig
+from ..errors import SimulationError
+from ..mem import AccessType, MemoryAccess
+from ..sim.engine import Simulator
+from .dram import Bank, RowOutcome
+
+CompletionCallback = Callable[[MemoryAccess], None]
+
+#: Extra latency charged for the logic-layer ALU of an atomic operation.
+ATOMIC_ALU_PS = 2_500
+
+
+@dataclass
+class _QueuedRequest:
+    access: MemoryAccess
+    on_done: CompletionCallback
+    arrived_ps: int
+
+
+@dataclass
+class VaultStats:
+    served: int = 0
+    row_hits: int = 0
+    atomics: int = 0
+    total_queue_wait_ps: int = 0
+    total_service_ps: int = 0
+    overflow_peak: int = 0
+
+
+class Vault:
+    """One vault: banks + a shared data bus + an FR-FCFS request queue."""
+
+    def __init__(self, sim: Simulator, cfg: HMCConfig, vault_id: int = 0) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.vault_id = vault_id
+        self.banks: List[Bank] = [Bank() for _ in range(cfg.banks_per_vault)]
+        self.queue: List[_QueuedRequest] = []
+        self.overflow: Deque[_QueuedRequest] = collections.deque()
+        self.bus_busy_until: int = 0
+        self.stats = VaultStats()
+        self._kick_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def enqueue(self, access: MemoryAccess, on_done: CompletionCallback) -> None:
+        """Accept a request; it is queued (or buffered on overflow)."""
+        if access.decoded is None:
+            raise SimulationError("memory access reached a vault without decode")
+        req = _QueuedRequest(access, on_done, self.sim.now)
+        if len(self.queue) < self.cfg.vault_queue_entries:
+            self.queue.append(req)
+        else:
+            self.overflow.append(req)
+            self.stats.overflow_peak = max(self.stats.overflow_peak, len(self.overflow))
+        self._schedule_kick(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # FR-FCFS scheduling
+    # ------------------------------------------------------------------
+    def _schedule_kick(self, when_ps: int) -> None:
+        when_ps = max(when_ps, self.sim.now)
+        if self._kick_at is not None and self._kick_at <= when_ps:
+            return
+        self._kick_at = when_ps
+        self.sim.at(when_ps, self._kick)
+
+    def _kick(self) -> None:
+        self._kick_at = None
+        self._drain_overflow()
+        progressed = True
+        while progressed and self.queue:
+            progressed = self._try_issue()
+        self._drain_overflow()
+        if self.queue:
+            horizon = min(
+                self.banks[req.access.decoded.bank].earliest_issue(self.sim.now)
+                for req in self.queue
+            )
+            self._schedule_kick(max(horizon, self.sim.now + 1))
+
+    def _drain_overflow(self) -> None:
+        while self.overflow and len(self.queue) < self.cfg.vault_queue_entries:
+            self.queue.append(self.overflow.popleft())
+
+    def _try_issue(self) -> bool:
+        """Issue the FR-FCFS-preferred request if one is ready now."""
+        best_idx: Optional[int] = None
+        best_key: Optional[Tuple[int, int, int]] = None
+        for idx, req in enumerate(self.queue):
+            decoded = req.access.decoded
+            bank = self.banks[decoded.bank]
+            ready = bank.earliest_issue(self.sim.now)
+            if ready > self.sim.now:
+                continue
+            is_hit = 0 if bank.classify(decoded.row) is RowOutcome.HIT else 1
+            key = (is_hit, req.arrived_ps, idx)
+            if best_key is None or key < best_key:
+                best_key, best_idx = key, idx
+        if best_idx is None:
+            return False
+        req = self.queue.pop(best_idx)
+        self._service(req)
+        return True
+
+    def _service(self, req: _QueuedRequest) -> None:
+        access = req.access
+        decoded = access.decoded
+        bank = self.banks[decoded.bank]
+        was_hit = bank.classify(decoded.row) is RowOutcome.HIT
+        data_done = bank.access(decoded.row, access.type, self.sim.now, self.cfg.timing)
+        if access.type is AccessType.ATOMIC:
+            data_done += ATOMIC_ALU_PS
+            self.stats.atomics += 1
+
+        transfer_cycles = max(
+            1, -(-access.size // self.cfg.vault_bus_bytes_per_cycle)
+        )
+        transfer_ps = transfer_cycles * self.cfg.timing.tCK_ps
+        bus_start = max(data_done, self.bus_busy_until)
+        done = bus_start + transfer_ps
+        self.bus_busy_until = done
+
+        self.stats.served += 1
+        if was_hit:
+            self.stats.row_hits += 1
+        self.stats.total_queue_wait_ps += self.sim.now - req.arrived_ps
+        self.stats.total_service_ps += done - self.sim.now
+
+        on_done = req.on_done
+        self.sim.at(done, lambda: on_done(access))
+        # A completion frees a queue entry; give the overflow a chance.
+        if self.overflow:
+            self._schedule_kick(self.sim.now)
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue) + len(self.overflow)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.stats.row_hits / self.stats.served if self.stats.served else 0.0

@@ -1,0 +1,91 @@
+"""Directed channels with serialization delay, contention, and energy stats.
+
+A channel transmits one packet at a time; a packet occupies the channel for
+its serialization time (size / bandwidth).  Contention is modeled by the
+channel's ``busy_until`` horizon: a packet arriving while the channel is busy
+queues behind the traffic already scheduled.  This packet-granularity
+store-and-forward model replaces the flit-level wormhole model of the
+authors' booksim setup (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..units import bytes_per_ps
+
+
+@dataclass
+class ChannelStats:
+    packets: int = 0
+    bytes: int = 0
+    #: Total time (ps) the channel spent transmitting.
+    busy_ps: int = 0
+
+
+class Channel:
+    """A directed point-to-point link.
+
+    ``width`` multiplies the base channel bandwidth; it models channel
+    aggregation (e.g. a GPU's two physical channels to each local HMC, or the
+    ``-2x`` topology variants that double slice channels).
+    """
+
+    __slots__ = ("name", "src", "dst", "gbps", "width", "busy_until", "stats")
+
+    def __init__(
+        self,
+        name: str,
+        src: object,
+        dst: object,
+        gbps: float = 20.0,
+        width: int = 1,
+    ) -> None:
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.gbps = gbps
+        self.width = width
+        self.busy_until: int = 0
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_gbps(self) -> float:
+        return self.gbps * self.width
+
+    def serialization_ps(self, num_bytes: int) -> int:
+        if num_bytes <= 0:
+            return 0
+        return max(1, round(num_bytes / bytes_per_ps(self.effective_gbps)))
+
+    def queue_delay_ps(self, now_ps: int) -> int:
+        """How long a packet arriving now would wait before transmission."""
+        return max(0, self.busy_until - now_ps)
+
+    def transmit(self, num_bytes: int, now_ps: int) -> int:
+        """Schedule a transfer; returns the time the last byte arrives."""
+        start = max(now_ps, self.busy_until)
+        ser = self.serialization_ps(num_bytes)
+        self.busy_until = start + ser
+        self.stats.packets += 1
+        self.stats.bytes += num_bytes
+        self.stats.busy_ps += ser
+        return self.busy_until
+
+    def reset_stats(self) -> None:
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    def active_energy_pj(self, pj_per_bit: float) -> float:
+        return self.stats.bytes * 8 * pj_per_bit
+
+    def idle_energy_pj(self, elapsed_ps: int, pj_per_bit: float) -> float:
+        """Energy of idle bit-slots over ``elapsed_ps`` of simulated time."""
+        total_bits = bytes_per_ps(self.effective_gbps) * elapsed_ps * 8
+        active_bits = self.stats.bytes * 8
+        return max(0.0, total_bits - active_bits) * pj_per_bit
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Channel({self.name}, {self.src}->{self.dst}, x{self.width})"

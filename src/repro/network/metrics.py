@@ -1,0 +1,111 @@
+"""Analytic topology metrics: diameter, average distance, bisection.
+
+The standard figures of merit from [46] (Dally & Towles), computed directly
+on a :class:`~repro.network.topology.Topology` graph.  They complement the
+simulated results: e.g. Fig. 16's ordering follows from sFBFLY pairing the
+lowest GPU-to-HMC distance with the highest bisection per channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import TopologyError
+from .topology import UNREACHABLE, Topology
+
+
+@dataclass(frozen=True)
+class TopologyMetrics:
+    name: str
+    routers: int
+    bidirectional_channels: int
+    diameter: int
+    avg_router_distance: float
+    max_gpu_to_hmc_hops: int
+    avg_gpu_to_hmc_hops: float
+    bisection_gbps: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "topology": self.name,
+            "routers": self.routers,
+            "channels": self.bidirectional_channels,
+            "diameter": self.diameter,
+            "avg_dist": round(self.avg_router_distance, 2),
+            "max_gpu_hops": self.max_gpu_to_hmc_hops,
+            "avg_gpu_hops": round(self.avg_gpu_to_hmc_hops, 2),
+            "bisection_gbps": round(self.bisection_gbps, 1),
+        }
+
+
+def _router_distances(topo: Topology) -> List[int]:
+    """All finite pairwise router distances (unreachable pairs skipped —
+    e.g. sFBFLY routers in different slices, which never exchange traffic)."""
+    dist = topo.dist
+    values = []
+    for a in range(topo.num_routers):
+        for b in range(topo.num_routers):
+            if a != b and dist[a][b] < UNREACHABLE:
+                values.append(dist[a][b])
+    return values
+
+
+def _gpu_hmc_hops(topo: Topology) -> List[int]:
+    values = []
+    for terminal in topo.terminals:
+        for r in range(topo.num_routers):
+            d = topo.terminal_distance(terminal, r)
+            if d < UNREACHABLE:
+                values.append(d)
+    return values
+
+
+def bisection_bandwidth_gbps(topo: Topology, tries: int = 64) -> float:
+    """Bandwidth across the best balanced cluster bipartition.
+
+    Clusters (not individual routers) are the natural partition unit in a
+    memory network — a GPU and its local HMCs move together.  For small
+    cluster counts the search is exhaustive; otherwise a bounded sample of
+    balanced bipartitions is used and the minimum cut found is reported.
+    """
+    clusters = sorted(set(topo.cluster_of))
+    n = len(clusters)
+    if n < 2:
+        raise TopologyError("bisection needs at least two clusters", topology=topo.name)
+    half = n // 2
+    best = float("inf")
+    combos = itertools.combinations(clusters, half)
+    for i, left in enumerate(combos):
+        if i >= tries:
+            break
+        left_set = set(left)
+        cut = sum(
+            ch.effective_gbps
+            for ch in topo.channels
+            if isinstance(ch.src, int)
+            and isinstance(ch.dst, int)
+            and (topo.cluster_of[ch.src] in left_set)
+            != (topo.cluster_of[ch.dst] in left_set)
+        )
+        best = min(best, cut / 2)  # directed channels counted both ways
+    return best
+
+
+def topology_metrics(topo: Topology) -> TopologyMetrics:
+    """Compute all figures of merit for a topology."""
+    router_dists = _router_distances(topo)
+    gpu_hops = _gpu_hmc_hops(topo)
+    return TopologyMetrics(
+        name=topo.name,
+        routers=topo.num_routers,
+        bidirectional_channels=topo.count_network_links(),
+        diameter=max(router_dists) if router_dists else 0,
+        avg_router_distance=(
+            sum(router_dists) / len(router_dists) if router_dists else 0.0
+        ),
+        max_gpu_to_hmc_hops=max(gpu_hops) if gpu_hops else 0,
+        avg_gpu_to_hmc_hops=sum(gpu_hops) / len(gpu_hops) if gpu_hops else 0.0,
+        bisection_gbps=bisection_bandwidth_gbps(topo),
+    )

@@ -1,0 +1,107 @@
+"""Network packets for the packetized HMC-style memory interface.
+
+The GPU/CPU and HMCs exchange high-level request/response messages
+(Section II-B, Fig. 3(b)): read/write/atomic requests carry a 16 B header
+(plus write data), responses carry the header plus read data.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class MessageClass(enum.IntEnum):
+    """Virtual-channel message classes (2 classes per Section VI-A)."""
+
+    REQUEST = 0
+    RESPONSE = 1
+
+
+class PacketKind(enum.Enum):
+    READ_REQ = "read_req"
+    WRITE_REQ = "write_req"
+    ATOMIC_REQ = "atomic_req"
+    READ_RESP = "read_resp"
+    WRITE_ACK = "write_ack"
+    ATOMIC_RESP = "atomic_resp"
+    DATA = "data"  # bulk transfer segment (memcpy)
+
+    @property
+    def is_request(self) -> bool:
+        return self in (
+            PacketKind.READ_REQ,
+            PacketKind.WRITE_REQ,
+            PacketKind.ATOMIC_REQ,
+            PacketKind.DATA,
+        )
+
+    @property
+    def message_class(self) -> MessageClass:
+        return MessageClass.REQUEST if self.is_request else MessageClass.RESPONSE
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One message traversing the memory network.
+
+    ``src`` / ``dst`` are endpoint names: a terminal name (``"gpu0"``,
+    ``"cpu"``) or a router index (int) for HMC destinations.
+    """
+
+    kind: PacketKind
+    src: Any
+    dst: Any
+    size_bytes: int
+    payload: Any = None
+    #: Overlay pass-through flag (CPU packets on the UMN overlay).
+    pass_through: bool = False
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Filled in by the network: injection time and hop count, for stats.
+    injected_at_ps: int = -1
+    hops: int = 0
+    #: For terminal destinations: the ejection router chosen when routing
+    #: began (fixed so per-hop decisions cannot oscillate between exits).
+    eject_router: Optional[int] = None
+
+    @property
+    def message_class(self) -> MessageClass:
+        return self.kind.message_class
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet#{self.pid}({self.kind.value}, {self.src}->{self.dst}, "
+            f"{self.size_bytes}B)"
+        )
+
+
+def request_size_bytes(kind: PacketKind, data_bytes: int, header_bytes: int = 16) -> int:
+    """Wire size of a request packet carrying ``data_bytes`` of payload."""
+    if kind in (PacketKind.WRITE_REQ, PacketKind.ATOMIC_REQ, PacketKind.DATA):
+        return header_bytes + data_bytes
+    return header_bytes
+
+
+def response_size_bytes(kind: PacketKind, data_bytes: int, header_bytes: int = 16) -> int:
+    """Wire size of the response packet matching a request."""
+    if kind in (PacketKind.READ_RESP, PacketKind.ATOMIC_RESP):
+        return header_bytes + data_bytes
+    return header_bytes
+
+
+def response_kind(request: PacketKind) -> PacketKind:
+    """Map a request kind to its response kind."""
+    mapping = {
+        PacketKind.READ_REQ: PacketKind.READ_RESP,
+        PacketKind.WRITE_REQ: PacketKind.WRITE_ACK,
+        PacketKind.ATOMIC_REQ: PacketKind.ATOMIC_RESP,
+    }
+    try:
+        return mapping[request]
+    except KeyError:
+        raise ValueError(f"{request} has no response kind") from None

@@ -1,0 +1,195 @@
+"""Routing policies: minimal (MIN) and load-balanced adaptive (UGAL).
+
+Routing decisions happen at two points:
+
+- **injection**: which of the terminal's attachment routers receives the
+  packet.  With distributed terminals this is where path diversity lives —
+  e.g. in dFBFLY a GPU can reach a remote HMC in one hop through the local
+  HMC of the matching slice, or in two hops through any other local HMC.
+- **per hop**: which minimal next-hop channel to take when several exist.
+
+MIN is congestion-oblivious: it always injects at a minimum-distance
+attachment and round-robins over equal-distance channels.  UGAL weighs
+queue occupancy against extra hops, so it will take a non-minimal entry
+point when the minimal one is congested (Section VI-B1 / Fig. 15).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import RoutingError
+from .channel import Channel
+from .packet import Packet
+from .topology import TerminalAttachment, Topology
+
+
+class MinimalRouting:
+    """Deterministic minimal routing with oblivious load spreading."""
+
+    name = "min"
+
+    def select_injection(
+        self, topo: Topology, packet: Packet, dst_router: int, now_ps: int
+    ) -> TerminalAttachment:
+        atts = topo.attachments(str(packet.src))
+        best = None
+        best_dist = None
+        for att in atts:
+            d = topo.distance(att.router, dst_router)
+            if best_dist is None or d < best_dist:
+                best, best_dist = att, d
+        if best is None:  # pragma: no cover - attachments() raises first
+            raise RoutingError(f"terminal {packet.src} has no attachments")
+        return best
+
+    def select_ejection(
+        self, topo: Topology, packet: Packet, cur_router: int, now_ps: int
+    ) -> TerminalAttachment:
+        atts = topo.attachments(str(packet.dst))
+        return min(atts, key=lambda att: topo.distance(cur_router, att.router))
+
+    def next_hop(
+        self, topo: Topology, packet: Packet, cur: int, dst: int, now_ps: int
+    ) -> Tuple[int, Channel]:
+        hops = topo.minimal_next_hops(cur, dst)
+        return hops[packet.pid % len(hops)]
+
+
+class UGALRouting(MinimalRouting):
+    """UGAL-style adaptive routing.
+
+    At injection, every attachment is a candidate; the estimated delay of a
+    candidate is its injection-channel queue plus the remaining hop latency
+    for its network distance plus the queueing on the first network channel.
+    Per hop, the least-occupied minimal channel is chosen.
+    """
+
+    name = "ugal"
+
+    def __init__(self, hop_latency_ps: int = 6400) -> None:
+        self.hop_latency_ps = hop_latency_ps
+
+    def _path_cost(
+        self,
+        topo: Topology,
+        start: int,
+        dst_router: int,
+        size_bytes: int,
+        now_ps: int,
+    ) -> int:
+        """Estimated delay of the best minimal path from ``start`` to
+        ``dst_router``, counting every channel's current queue.
+
+        Computed exactly over the minimal-path DAG (not greedily), so a jam
+        on a later hop is visible from the injection point — that is what
+        lets UGAL steer around a congested destination channel, the effect
+        that pays off on imbalanced traffic like CG.S (Fig. 15).
+        """
+        memo = {dst_router: 0}
+
+        def best(cur: int) -> int:
+            cached = memo.get(cur)
+            if cached is not None:
+                return cached
+            cost = min(
+                ch.queue_delay_ps(now_ps)
+                + ch.serialization_ps(size_bytes)
+                + self.hop_latency_ps
+                + best(nbr)
+                for nbr, ch in topo.minimal_next_hops(cur, dst_router)
+            )
+            memo[cur] = cost
+            return cost
+
+        return best(start)
+
+    def _candidate_cost(
+        self,
+        topo: Topology,
+        att: TerminalAttachment,
+        dst_router: int,
+        size_bytes: int,
+        now_ps: int,
+        min_dist: int,
+    ) -> int:
+        if not topo.reachable(att.router, dst_router):
+            # e.g. sFBFLY: a non-matching-slice local HMC has no path to the
+            # destination (intra-cluster channels were removed).
+            return 1 << 60
+        cost = att.inject.queue_delay_ps(now_ps)
+        cost += att.inject.serialization_ps(size_bytes)
+        cost += self._path_cost(topo, att.router, dst_router, size_bytes, now_ps)
+        # Bias toward the minimal path: queue estimates are stale by the
+        # time the packet reaches the later hops, so a non-minimal route
+        # must promise more than its extra hops' worth of savings (the
+        # standard UGAL minimal-preference threshold).
+        extra_hops = topo.distance(att.router, dst_router) - min_dist
+        cost += extra_hops * self.hop_latency_ps
+        return cost
+
+    def select_injection(
+        self, topo: Topology, packet: Packet, dst_router: int, now_ps: int
+    ) -> TerminalAttachment:
+        atts = topo.attachments(str(packet.src))
+        min_dist = min(topo.distance(att.router, dst_router) for att in atts)
+        return min(
+            atts,
+            key=lambda att: (
+                self._candidate_cost(
+                    topo, att, dst_router, packet.size_bytes, now_ps, min_dist
+                ),
+                att.router,
+            ),
+        )
+
+    def select_ejection(
+        self, topo: Topology, packet: Packet, cur_router: int, now_ps: int
+    ) -> TerminalAttachment:
+        """Responses also steer by load: any of the destination terminal's
+        attachment routers is a valid exit, so pick the least-cost one
+        instead of blindly taking the hop-count-minimal channel."""
+        atts = topo.attachments(str(packet.dst))
+
+        def cost(att: TerminalAttachment):
+            if not topo.reachable(cur_router, att.router):
+                return (1 << 60, att.router)
+            return (
+                self._path_cost(topo, cur_router, att.router, packet.size_bytes, now_ps)
+                + att.eject.queue_delay_ps(now_ps),
+                att.router,
+            )
+
+        return min(atts, key=cost)
+
+    def next_hop(
+        self, topo: Topology, packet: Packet, cur: int, dst: int, now_ps: int
+    ) -> Tuple[int, Channel]:
+        hops = topo.minimal_next_hops(cur, dst)
+        return min(
+            hops,
+            key=lambda h: (
+                h[1].queue_delay_ps(now_ps)
+                + self._path_cost(topo, h[0], dst, packet.size_bytes, now_ps),
+                h[0],
+            ),
+        )
+
+
+ROUTING_POLICIES = {
+    "min": MinimalRouting,
+    "ugal": UGALRouting,
+}
+
+
+def make_routing(name: str, hop_latency_ps: int = 6400):
+    """Instantiate a routing policy by name."""
+    try:
+        cls = ROUTING_POLICIES[name]
+    except KeyError:
+        raise RoutingError(
+            f"unknown routing policy {name!r}; available: {sorted(ROUTING_POLICIES)}"
+        ) from None
+    if cls is UGALRouting:
+        return cls(hop_latency_ps)
+    return cls()

@@ -1,0 +1,338 @@
+"""Builders for every memory-network topology evaluated in the paper.
+
+Router numbering convention: router ``c * H + s`` is the ``s``-th local HMC
+(slice ``s``) of cluster ``c``.  GPU ``g`` owns cluster ``g``; when a CPU is
+part of the network (CMN/UMN) it owns the last cluster.  Terminals are named
+``"gpu0" .. "gpuN-1"`` and ``"cpu"``.
+
+Topologies (Figs. 11, 13, 16):
+
+- ``ring``     — all HMCs on a ring (illustrative baseline, Fig. 9(b)).
+- ``fbfly``    — conventional 2D flattened butterfly, one attachment point
+  per GPU (Fig. 11(b)).
+- ``dfbfly``   — distributor-based FBFLY: sliced inter-cluster FBFLY *plus*
+  intra-cluster cliques (Fig. 11(c)).
+- ``ddfly``    — distributor-based dragonfly: intra-cluster cliques plus one
+  channel between each pair of clusters (Fig. 11(a)).
+- ``sfbfly``   — the proposed sliced FBFLY: per-slice FBFLY, no
+  intra-cluster channels (Fig. 11(d)).
+- ``smesh``/``storus`` (+``-2x``) — sliced mesh/torus variants (Fig. 16);
+  the ``-2x`` variants double every slice channel's width.
+- ``overlay``  — sFBFLY plus serial CPU pass-through chains (Fig. 13); an
+  ``overlay-smesh`` variant overlays the chains on sMESH.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ...errors import TopologyError
+from ..topology import Topology
+from .grids import clique_edges, fbfly2d_edges, ring_edges, slice_edges
+
+
+def _base_topology(
+    name: str,
+    num_gpus: int,
+    hmcs_per_gpu: int,
+    include_cpu: bool,
+    channel_gbps: float,
+) -> Topology:
+    if num_gpus < 1:
+        raise TopologyError("need at least one GPU", topology=name)
+    if hmcs_per_gpu < 1:
+        raise TopologyError("need at least one HMC per GPU", topology=name)
+    num_clusters = num_gpus + (1 if include_cpu else 0)
+    num_routers = num_clusters * hmcs_per_gpu
+    cluster_of = [r // hmcs_per_gpu for r in range(num_routers)]
+    slice_of = [r % hmcs_per_gpu for r in range(num_routers)]
+    return Topology(name, num_routers, cluster_of, slice_of, channel_gbps)
+
+
+def _attach_distributed_terminals(
+    topo: Topology,
+    num_gpus: int,
+    hmcs_per_gpu: int,
+    include_cpu: bool,
+    gpu_channels: int,
+    cpu_channels: int,
+) -> None:
+    """Attach each terminal to all its local HMCs with distributed channels."""
+    gpu_width = max(1, gpu_channels // hmcs_per_gpu)
+    for g in range(num_gpus):
+        for s in range(hmcs_per_gpu):
+            topo.attach_terminal(f"gpu{g}", g * hmcs_per_gpu + s, width=gpu_width)
+    if include_cpu:
+        cpu_width = max(1, cpu_channels // hmcs_per_gpu)
+        base = num_gpus * hmcs_per_gpu
+        for s in range(hmcs_per_gpu):
+            topo.attach_terminal("cpu", base + s, width=cpu_width)
+
+
+def _slice_members(topo: Topology, hmcs_per_gpu: int, slice_id: int) -> List[int]:
+    return [r for r in range(topo.num_routers) if topo.slice_of[r] == slice_id]
+
+
+def _cluster_members(topo: Topology, hmcs_per_gpu: int, cluster: int) -> List[int]:
+    return list(
+        range(cluster * hmcs_per_gpu, (cluster + 1) * hmcs_per_gpu)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sliced family (sFBFLY / sMESH / sTORUS and -2x variants)
+# ---------------------------------------------------------------------------
+def build_sliced(
+    style: str,
+    num_gpus: int,
+    hmcs_per_gpu: int = 4,
+    include_cpu: bool = False,
+    channel_gbps: float = 20.0,
+    gpu_channels: int = 8,
+    cpu_channels: int = 8,
+    slice_channel_width: int = 1,
+    name: Optional[str] = None,
+) -> Topology:
+    """Sliced topology: slice ``s`` interconnects the ``s``-th HMC of every
+    cluster with the given slice graph style; no intra-cluster channels."""
+    topo = _base_topology(
+        name or f"s{style}", num_gpus, hmcs_per_gpu, include_cpu, channel_gbps
+    )
+    for s in range(hmcs_per_gpu):
+        members = _slice_members(topo, hmcs_per_gpu, s)
+        for a, b in slice_edges(style, members):
+            topo.add_link(a, b, width=slice_channel_width)
+    _attach_distributed_terminals(
+        topo, num_gpus, hmcs_per_gpu, include_cpu, gpu_channels, cpu_channels
+    )
+    return topo
+
+
+def build_sfbfly(**kwargs) -> Topology:
+    kwargs.setdefault("name", "sfbfly")
+    return build_sliced("fbfly", **kwargs)
+
+
+def build_smesh(**kwargs) -> Topology:
+    kwargs.setdefault("name", "smesh")
+    return build_sliced("mesh", **kwargs)
+
+
+def build_storus(**kwargs) -> Topology:
+    kwargs.setdefault("name", "storus")
+    return build_sliced("torus", **kwargs)
+
+
+def build_smesh_2x(**kwargs) -> Topology:
+    kwargs.setdefault("name", "smesh-2x")
+    kwargs["slice_channel_width"] = 2
+    return build_sliced("mesh", **kwargs)
+
+
+def build_storus_2x(**kwargs) -> Topology:
+    kwargs.setdefault("name", "storus-2x")
+    kwargs["slice_channel_width"] = 2
+    return build_sliced("torus", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Distributor-based topologies from [5] (baselines)
+# ---------------------------------------------------------------------------
+def build_dfbfly(
+    num_gpus: int,
+    hmcs_per_gpu: int = 4,
+    include_cpu: bool = False,
+    channel_gbps: float = 20.0,
+    gpu_channels: int = 8,
+    cpu_channels: int = 8,
+) -> Topology:
+    """dFBFLY = sliced FBFLY plus a clique inside every cluster."""
+    topo = build_sliced(
+        "fbfly",
+        num_gpus,
+        hmcs_per_gpu,
+        include_cpu,
+        channel_gbps,
+        gpu_channels,
+        cpu_channels,
+        name="dfbfly",
+    )
+    num_clusters = num_gpus + (1 if include_cpu else 0)
+    for c in range(num_clusters):
+        for a, b in clique_edges(_cluster_members(topo, hmcs_per_gpu, c)):
+            topo.add_link(a, b)
+    return topo
+
+
+def build_ddfly(
+    num_gpus: int,
+    hmcs_per_gpu: int = 4,
+    include_cpu: bool = False,
+    channel_gbps: float = 20.0,
+    gpu_channels: int = 8,
+    cpu_channels: int = 8,
+) -> Topology:
+    """dDFLY: intra-cluster cliques + one global channel per cluster pair.
+
+    Global link endpoints follow the standard dragonfly assignment: cluster
+    ``i``'s global port toward cluster ``j`` lands on local HMC
+    ``port % hmcs_per_gpu`` so the global channels are spread across a
+    cluster's HMCs.
+    """
+    topo = _base_topology("ddfly", num_gpus, hmcs_per_gpu, include_cpu, channel_gbps)
+    num_clusters = num_gpus + (1 if include_cpu else 0)
+    for c in range(num_clusters):
+        for a, b in clique_edges(_cluster_members(topo, hmcs_per_gpu, c)):
+            topo.add_link(a, b)
+    for i in range(num_clusters):
+        for j in range(i + 1, num_clusters):
+            port_i = (j - 1) if j > i else j
+            port_j = (i - 1) if i > j else i
+            a = i * hmcs_per_gpu + port_i % hmcs_per_gpu
+            b = j * hmcs_per_gpu + port_j % hmcs_per_gpu
+            topo.add_link(a, b)
+    _attach_distributed_terminals(
+        topo, num_gpus, hmcs_per_gpu, include_cpu, gpu_channels, cpu_channels
+    )
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# Non-distributed baselines
+# ---------------------------------------------------------------------------
+def build_ring(
+    num_gpus: int,
+    hmcs_per_gpu: int = 4,
+    include_cpu: bool = False,
+    channel_gbps: float = 20.0,
+    gpu_channels: int = 8,
+    cpu_channels: int = 8,
+) -> Topology:
+    """All HMCs on one ring (Fig. 9(b) illustration)."""
+    topo = _base_topology("ring", num_gpus, hmcs_per_gpu, include_cpu, channel_gbps)
+    for a, b in ring_edges(list(range(topo.num_routers))):
+        topo.add_link(a, b)
+    _attach_distributed_terminals(
+        topo, num_gpus, hmcs_per_gpu, include_cpu, gpu_channels, cpu_channels
+    )
+    return topo
+
+
+def build_fbfly(
+    num_gpus: int,
+    hmcs_per_gpu: int = 4,
+    include_cpu: bool = False,
+    channel_gbps: float = 20.0,
+    gpu_channels: int = 8,
+    cpu_channels: int = 8,
+) -> Topology:
+    """Conventional 2D FBFLY over all HMCs; each terminal attaches all of its
+    channels to a single router (no distribution), per Fig. 11(b)."""
+    topo = _base_topology("fbfly", num_gpus, hmcs_per_gpu, include_cpu, channel_gbps)
+    for a, b in fbfly2d_edges(list(range(topo.num_routers))):
+        topo.add_link(a, b)
+    for g in range(num_gpus):
+        topo.attach_terminal(f"gpu{g}", g * hmcs_per_gpu, width=gpu_channels)
+    if include_cpu:
+        topo.attach_terminal("cpu", num_gpus * hmcs_per_gpu, width=cpu_channels)
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# Overlay for UMN (Fig. 13)
+# ---------------------------------------------------------------------------
+def build_overlay(
+    num_gpus: int,
+    hmcs_per_gpu: int = 4,
+    include_cpu: bool = True,
+    channel_gbps: float = 20.0,
+    gpu_channels: int = 8,
+    cpu_channels: int = 8,
+    base_style: str = "fbfly",
+) -> Topology:
+    """A sliced base topology plus serial CPU pass-through chains.
+
+    Per slice, a dedicated chain starts at the CPU's local HMC of that slice
+    and serially visits every GPU cluster's HMC in the slice; CPU packets ride
+    the chain at pass-through latency (Section V-C).
+    """
+    if not include_cpu:
+        raise TopologyError("the overlay exists to serve a CPU", topology="overlay")
+    topo = build_sliced(
+        base_style,
+        num_gpus,
+        hmcs_per_gpu,
+        include_cpu=True,
+        channel_gbps=channel_gbps,
+        gpu_channels=gpu_channels,
+        cpu_channels=cpu_channels,
+        name=f"overlay-s{base_style}" if base_style != "fbfly" else "overlay",
+    )
+    cpu_cluster = num_gpus
+    for s in range(hmcs_per_gpu):
+        head = cpu_cluster * hmcs_per_gpu + s
+        chain = [head] + [g * hmcs_per_gpu + s for g in range(num_gpus)]
+        topo.add_passthrough_chain("cpu", s, chain)
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# CMN network (Fig. 8(a))
+# ---------------------------------------------------------------------------
+def build_cmn(
+    num_gpus: int,
+    hmcs_per_cpu: int = 4,
+    channel_gbps: float = 20.0,
+    cpu_channels: int = 8,
+    gpu_network_channels: int = 2,
+) -> Topology:
+    """The CPU memory network: the CPU's local HMCs form a clique and every
+    GPU attaches with ``gpu_network_channels`` channels (replacing its PCIe
+    link).  GPU local HMCs are *not* part of this network; they stay
+    direct-attached and are modeled by the system builder."""
+    topo = Topology(
+        "cmn",
+        hmcs_per_cpu,
+        cluster_of=[0] * hmcs_per_cpu,
+        slice_of=list(range(hmcs_per_cpu)),
+        channel_gbps=channel_gbps,
+    )
+    for a, b in clique_edges(list(range(hmcs_per_cpu))):
+        topo.add_link(a, b)
+    cpu_width = max(1, cpu_channels // hmcs_per_cpu)
+    for s in range(hmcs_per_cpu):
+        topo.attach_terminal("cpu", s, width=cpu_width)
+    for g in range(num_gpus):
+        for k in range(gpu_network_channels):
+            topo.attach_terminal(f"gpu{g}", (g + k) % hmcs_per_cpu, width=1)
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+BUILDERS: Dict[str, Callable[..., Topology]] = {
+    "ring": build_ring,
+    "fbfly": build_fbfly,
+    "dfbfly": build_dfbfly,
+    "ddfly": build_ddfly,
+    "sfbfly": build_sfbfly,
+    "smesh": build_smesh,
+    "storus": build_storus,
+    "smesh-2x": build_smesh_2x,
+    "storus-2x": build_storus_2x,
+    "overlay": build_overlay,
+    "overlay-smesh": lambda **kw: build_overlay(base_style="mesh", **kw),
+}
+
+
+def build_topology(name: str, num_gpus: int, **kwargs) -> Topology:
+    """Build a registered topology by name."""
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {sorted(BUILDERS)}",
+            topology=name,
+        ) from None
+    return builder(num_gpus=num_gpus, **kwargs)

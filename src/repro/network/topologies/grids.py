@@ -1,0 +1,142 @@
+"""Edge-set generators for the building-block graphs used by topologies.
+
+All helpers operate on an ordered list of router ids and yield ``(a, b)``
+pairs for bidirectional links, never duplicating a pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from ...errors import TopologyError
+
+Edge = Tuple[int, int]
+
+
+def grid_shape(n: int) -> Tuple[int, int]:
+    """Factor ``n`` into the most square (rows, cols) grid, rows <= cols."""
+    if n < 1:
+        raise TopologyError(f"cannot shape a grid for {n} routers")
+    rows = int(math.isqrt(n))
+    while n % rows:
+        rows -= 1
+    return rows, n // rows
+
+
+def clique_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """All-to-all links (a 1D flattened butterfly)."""
+    for i, a in enumerate(routers):
+        for b in routers[i + 1 :]:
+            yield a, b
+
+
+def ring_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    n = len(routers)
+    if n < 2:
+        return
+    if n == 2:
+        yield routers[0], routers[1]
+        return
+    for i in range(n):
+        yield routers[i], routers[(i + 1) % n]
+
+
+def _as_grid(routers: Sequence[int]) -> List[List[int]]:
+    rows, cols = grid_shape(len(routers))
+    return [list(routers[r * cols : (r + 1) * cols]) for r in range(rows)]
+
+
+def mesh2d_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """2D mesh over the near-square grid shape of the router list."""
+    grid = _as_grid(routers)
+    for r, row in enumerate(grid):
+        for c, node in enumerate(row):
+            if c + 1 < len(row):
+                yield node, row[c + 1]
+            if r + 1 < len(grid):
+                yield node, grid[r + 1][c]
+
+
+def torus2d_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """2D torus; wraparound links are omitted for dimensions of size <= 2
+    (they would duplicate the mesh link)."""
+    grid = _as_grid(routers)
+    rows, cols = len(grid), len(grid[0])
+    seen = set()
+    for r in range(rows):
+        for c in range(cols):
+            a = grid[r][c]
+            for b in (grid[r][(c + 1) % cols], grid[(r + 1) % rows][c]):
+                if a == b:
+                    continue
+                key = (min(a, b), max(a, b))
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+
+def fbfly2d_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """2D flattened butterfly: cliques along every row and every column.
+
+    Degenerates to a clique for a 1xN shape, matching the paper's use of a
+    fully connected slice for 4 GPUs and a 2D FBFLY per slice at 16 GPUs
+    (Section VI-A).
+    """
+    grid = _as_grid(routers)
+    rows, cols = len(grid), len(grid[0])
+    for row in grid:
+        yield from clique_edges(row)
+    if rows > 1:
+        for c in range(cols):
+            yield from clique_edges([grid[r][c] for r in range(rows)])
+
+
+def line_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """1D mesh (a line)."""
+    for a, b in zip(routers, routers[1:]):
+        yield a, b
+
+
+def sliced_fbfly_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """Slice graph for sFBFLY (Section VI-A): fully connected for small
+    slices (<= 5 members, covering the 4-GPU and 4GPU+CPU systems), a 2D
+    flattened butterfly over the near-square grid otherwise (e.g. 4x4 at
+    16 GPUs)."""
+    if len(routers) <= 5:
+        return clique_edges(routers)
+    return fbfly2d_edges(routers)
+
+
+def sliced_mesh_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """Slice graph for sMESH: a line for <= 4 members (the paper's slices
+    are the columns of Fig. 11), a 2D mesh for larger systems."""
+    if len(routers) <= 4:
+        return line_edges(routers)
+    return mesh2d_edges(routers)
+
+
+def sliced_torus_edges(routers: Sequence[int]) -> Iterator[Edge]:
+    """Slice graph for sTORUS: a ring for <= 4 members, 2D torus above."""
+    if len(routers) <= 4:
+        return ring_edges(routers)
+    return torus2d_edges(routers)
+
+
+SLICE_STYLES = {
+    "fbfly": sliced_fbfly_edges,
+    "mesh": sliced_mesh_edges,
+    "torus": sliced_torus_edges,
+    "ring": ring_edges,
+    "clique": clique_edges,
+}
+
+
+def slice_edges(style: str, routers: Sequence[int]) -> Iterator[Edge]:
+    try:
+        gen = SLICE_STYLES[style]
+    except KeyError:
+        raise TopologyError(
+            f"unknown slice style {style!r}; expected one of {sorted(SLICE_STYLES)}"
+        ) from None
+    return gen(routers)

@@ -1,0 +1,263 @@
+"""Topology graph: routers (HMCs), channels, terminals, and routing tables.
+
+A topology is a directed multigraph over router indices.  Terminals (GPUs and
+the CPU) attach to routers through injection/ejection channels; the
+"distribution" of a GPU's 8 channels across its 4 local HMCs (Section VI-A)
+is modeled by one attachment per local HMC with ``width=2``.
+
+Routing tables are all-pairs BFS next-hop sets computed once after
+construction; see :mod:`repro.network.routing` for the routing policies that
+consume them.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import RoutingError, TopologyError
+from .channel import Channel
+
+UNREACHABLE = 1 << 30
+
+
+@dataclass
+class TerminalAttachment:
+    """One (terminal, router) link pair."""
+
+    terminal: str
+    router: int
+    inject: Channel
+    eject: Channel
+
+
+class Topology:
+    """Routers + channels + terminal attachments + minimal routing tables."""
+
+    def __init__(
+        self,
+        name: str,
+        num_routers: int,
+        cluster_of: Optional[Sequence[int]] = None,
+        slice_of: Optional[Sequence[int]] = None,
+        channel_gbps: float = 20.0,
+    ) -> None:
+        if num_routers < 1:
+            raise TopologyError("topology needs at least one router", topology=name)
+        self.name = name
+        self.num_routers = num_routers
+        #: Which cluster (GPU/CPU locality domain) each router belongs to.
+        self.cluster_of: List[int] = list(cluster_of) if cluster_of else [0] * num_routers
+        #: Which slice (position within its cluster) each router belongs to.
+        self.slice_of: List[int] = list(slice_of) if slice_of else [0] * num_routers
+        self.channel_gbps = channel_gbps
+        self.channels: List[Channel] = []
+        #: adjacency: router -> list of (neighbor, channel)
+        self.adj: List[List[Tuple[int, Channel]]] = [[] for _ in range(num_routers)]
+        self.terminals: Dict[str, List[TerminalAttachment]] = {}
+        #: Overlay pass-through chains: terminal -> slice -> ordered channel
+        #: lists (forward direction); reverse channels are stored alongside.
+        self.passthrough_chains: Dict[str, Dict[int, "PassthroughChain"]] = {}
+        self._dist: Optional[List[List[int]]] = None
+        self._next_hops: Optional[List[List[List[Tuple[int, Channel]]]]] = None
+
+        if len(self.cluster_of) != num_routers or len(self.slice_of) != num_routers:
+            raise TopologyError("cluster/slice labels must cover all routers", topology=name)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_link(self, a: int, b: int, width: int = 1, gbps: Optional[float] = None) -> None:
+        """Add a bidirectional router-router link (two directed channels)."""
+        self._check_router(a)
+        self._check_router(b)
+        if a == b:
+            raise TopologyError(f"self-link at router {a}", topology=self.name)
+        rate = self.channel_gbps if gbps is None else gbps
+        fwd = Channel(f"r{a}->r{b}", a, b, rate, width)
+        rev = Channel(f"r{b}->r{a}", b, a, rate, width)
+        self.channels.extend((fwd, rev))
+        self.adj[a].append((b, fwd))
+        self.adj[b].append((a, rev))
+        self._invalidate()
+
+    def has_link(self, a: int, b: int) -> bool:
+        return any(nbr == b for nbr, _ in self.adj[a])
+
+    def attach_terminal(
+        self, terminal: str, router: int, width: int = 1, gbps: Optional[float] = None
+    ) -> TerminalAttachment:
+        """Attach a terminal (GPU/CPU) to a router with inject/eject channels."""
+        self._check_router(router)
+        rate = self.channel_gbps if gbps is None else gbps
+        inject = Channel(f"{terminal}->r{router}", terminal, router, rate, width)
+        eject = Channel(f"r{router}->{terminal}", router, terminal, rate, width)
+        att = TerminalAttachment(terminal, router, inject, eject)
+        self.terminals.setdefault(terminal, []).append(att)
+        return att
+
+    def add_passthrough_chain(self, terminal: str, slice_id: int, routers: Sequence[int]) -> None:
+        """Overlay a serial pass-through chain over ``routers`` for ``terminal``.
+
+        Dedicated channels are created along the chain; the terminal's packets
+        may ride them at pass-through latency (Section V-C).
+        """
+        for r in routers:
+            self._check_router(r)
+        if len(routers) < 1:
+            raise TopologyError("pass-through chain needs >= 1 router", topology=self.name)
+        forward: List[Channel] = []
+        reverse: List[Channel] = []
+        for a, b in zip(routers, routers[1:]):
+            fwd = Channel(f"pt:{terminal}:s{slice_id}:r{a}->r{b}", a, b, self.channel_gbps, 1)
+            rev = Channel(f"pt:{terminal}:s{slice_id}:r{b}->r{a}", b, a, self.channel_gbps, 1)
+            self.channels.extend((fwd, rev))
+            forward.append(fwd)
+            reverse.append(rev)
+        chain = PassthroughChain(list(routers), forward, reverse)
+        self.passthrough_chains.setdefault(terminal, {})[slice_id] = chain
+
+    # ------------------------------------------------------------------
+    # Routing tables
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._dist = None
+        self._next_hops = None
+
+    def _compute_tables(self) -> None:
+        n = self.num_routers
+        dist = [[UNREACHABLE] * n for _ in range(n)]
+        for src in range(n):
+            dist[src][src] = 0
+            queue = collections.deque([src])
+            while queue:
+                u = queue.popleft()
+                for v, _ in self.adj[u]:
+                    if dist[src][v] == UNREACHABLE:
+                        dist[src][v] = dist[src][u] + 1
+                        queue.append(v)
+        next_hops: List[List[List[Tuple[int, Channel]]]] = [
+            [[] for _ in range(n)] for _ in range(n)
+        ]
+        for cur in range(n):
+            for dst in range(n):
+                if cur == dst or dist[cur][dst] == UNREACHABLE:
+                    continue
+                hops = [
+                    (nbr, ch)
+                    for nbr, ch in self.adj[cur]
+                    if dist[nbr][dst] == dist[cur][dst] - 1
+                ]
+                next_hops[cur][dst] = hops
+        self._dist = dist
+        self._next_hops = next_hops
+
+    @property
+    def dist(self) -> List[List[int]]:
+        if self._dist is None:
+            self._compute_tables()
+        assert self._dist is not None
+        return self._dist
+
+    def distance(self, a: int, b: int) -> int:
+        return self.dist[a][b]
+
+    def minimal_next_hops(self, cur: int, dst: int) -> List[Tuple[int, Channel]]:
+        if self._next_hops is None:
+            self._compute_tables()
+        assert self._next_hops is not None
+        hops = self._next_hops[cur][dst]
+        if cur != dst and not hops:
+            raise RoutingError(
+                f"no route from router {cur} to {dst}", topology=self.name
+            )
+        return hops
+
+    def reachable(self, a: int, b: int) -> bool:
+        return self.dist[a][b] < UNREACHABLE
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def attachments(self, terminal: str) -> List[TerminalAttachment]:
+        try:
+            return self.terminals[terminal]
+        except KeyError:
+            raise TopologyError(
+                f"unknown terminal {terminal!r}", topology=self.name
+            ) from None
+
+    def terminal_routers(self, terminal: str) -> List[int]:
+        return [att.router for att in self.attachments(terminal)]
+
+    def terminal_distance(self, terminal: str, router: int) -> int:
+        """Minimum network distance from any of the terminal's routers."""
+        return min(self.dist[r][router] for r in self.terminal_routers(terminal))
+
+    def routers_in_cluster(self, cluster: int) -> List[int]:
+        return [r for r in range(self.num_routers) if self.cluster_of[r] == cluster]
+
+    def count_network_links(self) -> int:
+        """Number of bidirectional router-router links (Fig. 12 metric).
+
+        Pass-through overlay channels are dedicated CPU channels and are
+        counted separately by :meth:`count_passthrough_links`.
+        """
+        directed = sum(
+            1 for ch in self.channels if not ch.name.startswith("pt:")
+        )
+        return directed // 2
+
+    def count_passthrough_links(self) -> int:
+        directed = sum(1 for ch in self.channels if ch.name.startswith("pt:"))
+        return directed // 2
+
+    def router_degree(self, router: int) -> int:
+        """Network channel count at a router, including terminal links."""
+        network = len(self.adj[router])
+        terminal = sum(
+            att.inject.width
+            for atts in self.terminals.values()
+            for att in atts
+            if att.router == router
+        )
+        return network + terminal
+
+    # ------------------------------------------------------------------
+    def _check_router(self, r: int) -> None:
+        if not 0 <= r < self.num_routers:
+            raise TopologyError(
+                f"router index {r} out of range [0, {self.num_routers})",
+                topology=self.name,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Topology({self.name}: {self.num_routers} routers, "
+            f"{self.count_network_links()} links, "
+            f"{len(self.terminals)} terminals)"
+        )
+
+
+@dataclass
+class PassthroughChain:
+    """An ordered pass-through path with dedicated forward/reverse channels."""
+
+    routers: List[int]
+    forward: List[Channel]
+    reverse: List[Channel]
+
+    def index_of(self, router: int) -> int:
+        try:
+            return self.routers.index(router)
+        except ValueError:
+            raise RoutingError(f"router {router} not on pass-through chain") from None
+
+    def hops_to(self, router: int) -> List[Channel]:
+        """Channels from the chain head to ``router`` (forward direction)."""
+        return self.forward[: self.index_of(router)]
+
+    def hops_from(self, router: int) -> List[Channel]:
+        """Channels from ``router`` back to the chain head."""
+        return list(reversed(self.reverse[: self.index_of(router)]))

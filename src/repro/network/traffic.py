@@ -1,0 +1,77 @@
+"""Synthetic traffic patterns for network characterization ([46] ch. 3).
+
+Each pattern maps a source index to a destination index over ``n``
+endpoints; the latency-load harness uses them to stress topologies in the
+standard ways:
+
+- ``uniform``        — destination drawn uniformly at random;
+- ``bit_complement`` — dst = ~src (stresses the bisection);
+- ``transpose``      — dst = src rotated by half the address bits (adversarial
+  for dimension-ordered meshes);
+- ``neighbor``       — dst = src + 1 (maximal locality);
+- ``hotspot``        — a fraction of traffic targets one endpoint, the rest
+  uniform (models CG.S-like imbalance).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from ..errors import ConfigError
+
+PatternFn = Callable[[int, int, random.Random], int]
+
+
+def uniform(src: int, n: int, rng: random.Random) -> int:
+    return rng.randrange(n)
+
+
+def bit_complement(src: int, n: int, rng: random.Random) -> int:
+    bits = max(1, (n - 1).bit_length())
+    return (~src) & ((1 << bits) - 1) if n & (n - 1) == 0 else (n - 1 - src)
+
+
+def transpose(src: int, n: int, rng: random.Random) -> int:
+    bits = max(2, (n - 1).bit_length())
+    if n & (n - 1):  # non power of two: fall back to a fixed shuffle
+        return (src * 7 + 3) % n
+    half = bits // 2
+    low = src & ((1 << half) - 1)
+    high = src >> half
+    return (low << (bits - half)) | high
+
+
+def neighbor(src: int, n: int, rng: random.Random) -> int:
+    return (src + 1) % n
+
+
+def make_hotspot(hot: int = 0, fraction: float = 0.3) -> PatternFn:
+    """A pattern closure sending ``fraction`` of traffic to one endpoint."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError(f"hotspot fraction {fraction} outside [0, 1]")
+
+    def hotspot(src: int, n: int, rng: random.Random) -> int:
+        if rng.random() < fraction:
+            return hot % n
+        return rng.randrange(n)
+
+    return hotspot
+
+
+PATTERNS: Dict[str, PatternFn] = {
+    "uniform": uniform,
+    "bit_complement": bit_complement,
+    "transpose": transpose,
+    "neighbor": neighbor,
+    "hotspot": make_hotspot(),
+}
+
+
+def get_pattern(name: str) -> PatternFn:
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown traffic pattern {name!r}; available: {sorted(PATTERNS)}"
+        ) from None

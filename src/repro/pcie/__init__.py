@@ -1,0 +1,5 @@
+"""PCIe interconnect substrate."""
+
+from .pcie import PCIeStats, PCIeSwitch
+
+__all__ = ["PCIeStats", "PCIeSwitch"]

@@ -1,0 +1,84 @@
+"""PCIe interconnect model (conventional multi-GPU baseline, Fig. 1(a)).
+
+Star topology: every device (the CPU and each GPU) hangs off a switch with
+one full-duplex 16-lane PCIe v3.0 link (15.75 GB/s per direction, Section
+VI-A).  A transaction serializes on the source's upstream link and the
+destination's downstream link and pays the fabric latency once.  Remote GPU
+memory access additionally traverses the remote GPU itself (Fig. 9(a)); the
+system builder charges that forwarding cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..config import PCIeConfig
+from ..errors import SimulationError
+from ..network.channel import Channel
+from ..sim.engine import Simulator
+
+
+@dataclass
+class PCIeStats:
+    transactions: int = 0
+    bytes: int = 0
+
+
+class PCIeSwitch:
+    """A PCIe switch with one link per attached device."""
+
+    def __init__(self, sim: Simulator, cfg: Optional[PCIeConfig] = None) -> None:
+        self.sim = sim
+        self.cfg = cfg or PCIeConfig()
+        self._up: Dict[str, Channel] = {}
+        self._down: Dict[str, Channel] = {}
+        self.stats = PCIeStats()
+
+    # ------------------------------------------------------------------
+    def attach(self, device: str) -> None:
+        if device in self._up:
+            raise SimulationError(f"PCIe device {device!r} already attached")
+        self._up[device] = Channel(f"pcie:{device}->sw", device, "switch", self.cfg.gbps)
+        self._down[device] = Channel(f"pcie:sw->{device}", "switch", device, self.cfg.gbps)
+
+    def devices(self):
+        return list(self._up)
+
+    # ------------------------------------------------------------------
+    def transaction(
+        self,
+        src: str,
+        dst: str,
+        payload_bytes: int,
+        on_done: Callable[[], None],
+    ) -> None:
+        """Move ``payload_bytes`` from ``src`` to ``dst`` through the switch.
+
+        ``on_done`` fires when the last byte reaches the destination.
+        """
+        try:
+            up = self._up[src]
+            down = self._down[dst]
+        except KeyError as exc:
+            raise SimulationError(f"PCIe device not attached: {exc}") from None
+        size = payload_bytes + self.cfg.header_bytes
+        self.stats.transactions += 1
+        self.stats.bytes += size
+        at_switch = up.transmit(size, self.sim.now + self.cfg.latency_ps // 2)
+
+        def forward() -> None:
+            arrive = down.transmit(size, self.sim.now + self.cfg.latency_ps // 2)
+            self.sim.at(arrive, on_done)
+
+        self.sim.at(at_switch, forward)
+
+    # ------------------------------------------------------------------
+    def link_utilization(self, device: str, elapsed_ps: int) -> float:
+        """Fraction of ``elapsed_ps`` the device's upstream link was busy."""
+        if elapsed_ps <= 0:
+            return 0.0
+        return min(1.0, self._up[device].stats.busy_ps / elapsed_ps)
+
+    def total_bytes(self) -> int:
+        return self.stats.bytes

@@ -1,0 +1,5 @@
+"""NVLink-style processor-centric network substrate (extension)."""
+
+from .pcn import PCNFabric, PCNStats
+
+__all__ = ["PCNFabric", "PCNStats"]

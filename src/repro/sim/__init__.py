@@ -1,0 +1,5 @@
+"""Discrete-event simulation core."""
+
+from .engine import Barrier, Simulator
+
+__all__ = ["Barrier", "Simulator"]

@@ -1,0 +1,132 @@
+"""Discrete-event simulation engine.
+
+The entire system model is event-driven: components schedule callbacks at
+absolute picosecond timestamps and the engine executes them in time order.
+Ties are broken by insertion order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer-ps time."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list = []
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time_ps: int, fn: Callback) -> None:
+        """Schedule ``fn`` to run at absolute time ``time_ps``."""
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time_ps} < now={self.now}"
+            )
+        heapq.heappush(self._queue, (time_ps, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay_ps: int, fn: Callback) -> None:
+        """Schedule ``fn`` to run ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps}")
+        self.at(self.now + delay_ps, fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or a limit is hit).
+
+        Returns the number of events executed during this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._queue:
+                if until_ps is not None and self._queue[0][0] > until_ps:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                time_ps, _, fn = heapq.heappop(self._queue)
+                self.now = time_ps
+                fn()
+                executed += 1
+        finally:
+            self._running = False
+        self._events_executed += executed
+        return executed
+
+    def step(self) -> bool:
+        """Execute a single event. Returns False if the queue was empty."""
+        if not self._queue:
+            return False
+        time_ps, _, fn = heapq.heappop(self._queue)
+        self.now = time_ps
+        fn()
+        self._events_executed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if idle."""
+        return self._queue[0][0] if self._queue else None
+
+
+class Barrier:
+    """Counts down ``count`` arrivals, then fires a completion callback.
+
+    Used for fork/join patterns such as "this CTA phase issued N memory
+    accesses; resume when all N responses arrived".
+    """
+
+    def __init__(self, count: int, on_done: Callback) -> None:
+        if count < 0:
+            raise SimulationError("barrier count must be >= 0")
+        self._remaining = count
+        self._on_done = on_done
+        self._fired = False
+        if count == 0:
+            self._fire()
+
+    def arrive(self) -> None:
+        if self._fired:
+            raise SimulationError("arrival after barrier completion")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._fire()
+        elif self._remaining < 0:  # pragma: no cover - guarded above
+            raise SimulationError("barrier over-notified")
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._on_done()
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    @property
+    def done(self) -> bool:
+        return self._fired

@@ -1,0 +1,30 @@
+"""System assembly: architectures, builder, runner, energy, metrics."""
+
+from .builder import DirectLink, MultiGPUSystem, NetEnvelope
+from .configs import TABLE_III, ArchSpec, Organization, TransferMode, get_spec
+from .energy import EnergyBreakdown, network_energy
+from .memcpy import memcpy_bandwidth_gbps, memcpy_time_ps
+from .metrics import RunResult, geometric_mean
+from .report import report_json, system_report
+from .run import run_workload, run_workload_detailed
+
+__all__ = [
+    "DirectLink",
+    "MultiGPUSystem",
+    "NetEnvelope",
+    "TABLE_III",
+    "ArchSpec",
+    "Organization",
+    "TransferMode",
+    "get_spec",
+    "EnergyBreakdown",
+    "network_energy",
+    "memcpy_bandwidth_gbps",
+    "memcpy_time_ps",
+    "RunResult",
+    "geometric_mean",
+    "report_json",
+    "system_report",
+    "run_workload",
+    "run_workload_detailed",
+]

@@ -1,0 +1,605 @@
+"""Full-system assembly for every Table III architecture.
+
+The system always contains ``num_gpus + 1`` memory clusters of
+``hmcs_per_gpu`` HMCs each — one cluster per GPU plus the CPU's cluster —
+addressed through the shared :class:`~repro.core.address.AddressMapping`.
+What differs between organizations (Fig. 8) is *how a request reaches its
+HMC*:
+
+================  =======================================================
+organization      request paths
+================  =======================================================
+PCIe (baseline)   own cluster: direct links; any remote cluster: PCIe to
+                  the owning device, which forwards to its local HMC
+                  (Fig. 9(a))
+CMN               own cluster: direct links; CPU cluster: the CPU memory
+                  network; remote GPU cluster: network to the remote GPU,
+                  which forwards (the PCIe bottleneck is gone but remote
+                  GPU traversal remains)
+GMN               any GPU cluster: the GPU memory network (Fig. 9(b));
+                  CPU cluster: PCIe to the CPU, which forwards
+UMN               everything: one unified memory network; CPU requests may
+                  ride the pass-through overlay
+================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..core.address import AddressMapping
+from ..core.page_table import PagePlacement, PageTable
+from ..core.virtual_gpu import VirtualGPU
+from ..cpu.host import HostCPU
+from ..errors import ConfigError, SimulationError
+from ..gpu.gpu import GPU
+from ..hmc.hmc import HMC
+from ..mem import AccessType, DecodedAddress, MemoryAccess
+from ..network.channel import Channel
+from ..network.network import MemoryNetwork
+from ..network.packet import (
+    Packet,
+    PacketKind,
+    request_size_bytes,
+    response_kind,
+    response_size_bytes,
+)
+from ..network.topologies import build_cmn, build_topology
+from ..pcie.pcie import PCIeSwitch
+from ..pcn.pcn import PCNFabric
+from ..sim.engine import Simulator
+from .configs import ArchSpec, Organization, TransferMode
+
+#: Cost of traversing a GPU on the way to its memory (remote access through
+#: a peer GPU, Fig. 9(a)): on-chip crossbar + memory-controller traversal.
+GPU_FORWARD_PS = 150_000  # 150 ns
+
+
+def _packet_kind(access_type: AccessType) -> PacketKind:
+    return {
+        AccessType.READ: PacketKind.READ_REQ,
+        AccessType.WRITE: PacketKind.WRITE_REQ,
+        AccessType.ATOMIC: PacketKind.ATOMIC_REQ,
+    }[access_type]
+
+
+def _request_bytes(access: MemoryAccess, header: int) -> int:
+    kind = _packet_kind(access.type)
+    data = access.size if kind is not PacketKind.READ_REQ else 0
+    return request_size_bytes(kind, data, header)
+
+
+def _response_bytes(access: MemoryAccess, header: int) -> int:
+    kind = response_kind(_packet_kind(access.type))
+    data = access.size if kind is not PacketKind.WRITE_ACK else 0
+    return response_size_bytes(kind, data, header)
+
+
+@dataclass
+class NetEnvelope:
+    """Payload wrapper for packets crossing the memory network."""
+
+    kind: str  # "req" | "resp" | "fwd_req"
+    access: MemoryAccess
+    reply_to: str = ""
+
+
+class DirectLink:
+    """A device's point-to-point connection to one local HMC (no network)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        terminal: str,
+        hmc: HMC,
+        gbps: float,
+        width: int,
+        serdes_ps: int,
+        header_bytes: int,
+    ) -> None:
+        self.sim = sim
+        self.hmc = hmc
+        self.serdes_ps = serdes_ps
+        self.header_bytes = header_bytes
+        self.req = Channel(f"{terminal}=>{hmc.name}", terminal, hmc.name, gbps, width)
+        self.resp = Channel(f"{hmc.name}=>{terminal}", hmc.name, terminal, gbps, width)
+
+    def access(self, access: MemoryAccess, on_done: Callable[[], None]) -> None:
+        req_size = _request_bytes(access, self.header_bytes)
+        arrive = self.req.transmit(req_size, self.sim.now + self.serdes_ps)
+
+        def served(_: MemoryAccess) -> None:
+            resp_size = _response_bytes(access, self.header_bytes)
+            done_at = self.resp.transmit(resp_size, self.sim.now + self.serdes_ps)
+            self.sim.at(done_at, on_done)
+
+        self.sim.at(arrive, lambda: self.hmc.access(access, served))
+
+
+class MultiGPUSystem:
+    """One simulated multi-GPU system instance for a given architecture."""
+
+    def __init__(self, spec: ArchSpec, cfg: Optional[SystemConfig] = None) -> None:
+        self.spec = spec
+        self.cfg = cfg or SystemConfig()
+        self.sim = Simulator()
+        G = self.cfg.num_gpus
+        H = self.cfg.gpu.hmcs_per_gpu
+        self.num_gpus = G
+        self.hmcs_per_cluster = H
+        self.cpu_cluster = G
+
+        self.mapping = AddressMapping(
+            num_clusters=G + 1,
+            hmcs_per_cluster=H,
+            vaults_per_hmc=self.cfg.hmc.num_vaults,
+            banks_per_vault=self.cfg.hmc.banks_per_vault,
+            line_bytes=self.cfg.gpu.l2.line_bytes,
+            row_bytes=self.cfg.hmc.row_bytes,
+            intra_cluster_interleave=self.cfg.intra_cluster_interleave,
+        )
+
+        self.hmcs: Dict[Tuple[int, int], HMC] = {}
+        for c in range(G + 1):
+            for lc in range(H):
+                name = f"hmc.c{c}.{lc}"
+                self.hmcs[(c, lc)] = HMC(self.sim, self.cfg.hmc, name=name)
+
+        self.gpus: List[GPU] = [GPU(self.sim, g, self.cfg.gpu) for g in range(G)]
+        self.cpu = HostCPU(self.sim, self.cfg.cpu)
+        self.vgpu = VirtualGPU(self.sim, self.gpus, policy=spec.cta_policy)
+
+        self.network: Optional[MemoryNetwork] = None
+        self.pcie: Optional[PCIeSwitch] = None
+        self.pcn: Optional[PCNFabric] = None
+        self._direct_links: Dict[Tuple[str, int, int], DirectLink] = {}
+        self._pending: Dict[int, Callable[[], None]] = {}
+        self.page_table: Optional[PageTable] = None
+
+        self._build_interconnect()
+        self._wire_ports()
+
+    # ------------------------------------------------------------------
+    # Interconnect construction
+    # ------------------------------------------------------------------
+    def _build_interconnect(self) -> None:
+        org = self.spec.organization
+        netcfg = self.cfg.network
+        if org is Organization.PCIE:
+            self._build_pcie_switch()
+            for g in range(self.num_gpus):
+                self._build_direct_links(f"gpu{g}", g)
+            self._build_direct_links("cpu", self.cpu_cluster)
+        elif org is Organization.PCN:
+            self.pcn = PCNFabric(
+                self.sim, [f"gpu{g}" for g in range(self.num_gpus)], self.cfg.pcn
+            )
+            for g in range(self.num_gpus):
+                self._build_direct_links(f"gpu{g}", g)
+            self._build_direct_links("cpu", self.cpu_cluster)
+        elif org is Organization.CMN:
+            topo = build_cmn(
+                self.num_gpus,
+                hmcs_per_cpu=self.hmcs_per_cluster,
+                channel_gbps=netcfg.channel_gbps,
+                cpu_channels=self.cfg.cpu.num_channels,
+            )
+            self.network = self._make_network(topo, netcfg)
+            for lc in range(self.hmcs_per_cluster):
+                self._register_router(lc, self.hmcs[(self.cpu_cluster, lc)])
+            for g in range(self.num_gpus):
+                self._build_direct_links(f"gpu{g}", g)
+                self.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
+            self.network.set_terminal_handler("cpu", self._on_terminal_packet)
+        elif org is Organization.GMN:
+            topo = build_topology(
+                self.spec.topology,
+                num_gpus=self.num_gpus,
+                hmcs_per_gpu=self.hmcs_per_cluster,
+                include_cpu=False,
+                channel_gbps=netcfg.channel_gbps,
+                gpu_channels=self.cfg.gpu.num_channels,
+            )
+            self.network = self._make_network(topo, netcfg)
+            for c in range(self.num_gpus):
+                for lc in range(self.hmcs_per_cluster):
+                    self._register_router(
+                        c * self.hmcs_per_cluster + lc, self.hmcs[(c, lc)]
+                    )
+            for g in range(self.num_gpus):
+                self.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
+            self._build_direct_links("cpu", self.cpu_cluster)
+            self._build_pcie_switch()
+        elif org is Organization.UMN:
+            topo = build_topology(
+                self.spec.topology,
+                num_gpus=self.num_gpus,
+                hmcs_per_gpu=self.hmcs_per_cluster,
+                include_cpu=True,
+                channel_gbps=netcfg.channel_gbps,
+                gpu_channels=self.cfg.gpu.num_channels,
+                cpu_channels=self.cfg.cpu.num_channels,
+            )
+            self.network = self._make_network(topo, netcfg)
+            for c in range(self.num_gpus + 1):
+                for lc in range(self.hmcs_per_cluster):
+                    self._register_router(
+                        c * self.hmcs_per_cluster + lc, self.hmcs[(c, lc)]
+                    )
+            for g in range(self.num_gpus):
+                self.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
+            self.network.set_terminal_handler("cpu", self._on_terminal_packet)
+        else:  # pragma: no cover
+            raise ConfigError(f"unknown organization {org}")
+
+    def _make_network(self, topo, netcfg) -> MemoryNetwork:
+        """Instantiate the configured network engine: the fast packet-level
+        model (default) or the flit-level wormhole/VC/credit model."""
+        if self.cfg.network_model == "flit":
+            from ..network.flitnet import FlitNetwork
+
+            return FlitNetwork(self.sim, topo, netcfg, routing=self.spec.routing)
+        if self.cfg.network_model != "packet":
+            raise ConfigError(
+                f"unknown network model {self.cfg.network_model!r}; "
+                "expected 'packet' or 'flit'"
+            )
+        return MemoryNetwork(self.sim, topo, netcfg, routing=self.spec.routing)
+
+    def _build_pcie_switch(self) -> None:
+        self.pcie = PCIeSwitch(self.sim, self.cfg.pcie)
+        self.pcie.attach("cpu")
+        for g in range(self.num_gpus):
+            self.pcie.attach(f"gpu{g}")
+
+    def _build_direct_links(self, terminal: str, cluster: int) -> None:
+        channels = (
+            self.cfg.cpu.num_channels if terminal == "cpu" else self.cfg.gpu.num_channels
+        )
+        width = max(1, channels // self.hmcs_per_cluster)
+        for lc in range(self.hmcs_per_cluster):
+            self._direct_links[(terminal, cluster, lc)] = DirectLink(
+                self.sim,
+                terminal,
+                self.hmcs[(cluster, lc)],
+                self.cfg.network.channel_gbps,
+                width,
+                self.cfg.network.serdes_ps,
+                self.cfg.network.header_bytes,
+            )
+
+    def _register_router(self, router: int, hmc: HMC) -> None:
+        assert self.network is not None
+        self.network.set_router_handler(
+            router, lambda packet: self._on_router_packet(router, hmc, packet)
+        )
+
+    # ------------------------------------------------------------------
+    # Page table / placement
+    # ------------------------------------------------------------------
+    def data_clusters(self) -> List[int]:
+        """Clusters that back kernel data under this architecture's
+        transfer mode (Section VI-B)."""
+        if self.spec.transfer is TransferMode.MEMCPY:
+            return list(range(self.num_gpus))
+        if self.spec.transfer is TransferMode.ZERO_COPY:
+            return [self.cpu_cluster]
+        return list(range(self.num_gpus + 1))  # NO_COPY: all physical memory
+
+    def install_page_table(
+        self,
+        policy: str = "random",
+        clusters: Optional[List[int]] = None,
+        weights: Optional[List[float]] = None,
+        seed: Optional[int] = None,
+    ) -> PageTable:
+        """Create and wire the shared SKE page table."""
+        placement = PagePlacement(
+            policy=policy,
+            clusters=self.data_clusters() if clusters is None else clusters,
+            seed=self.cfg.seed if seed is None else seed,
+            weights=weights,
+        )
+        self.page_table = PageTable(self.mapping, placement, self.cfg.page_bytes)
+        table = self.page_table
+        for gpu in self.gpus:
+            # Each client translates with its home cluster as the
+            # first-touch hint (a no-op for the other placement policies).
+            gpu.translate = (
+                lambda vaddr, _home=gpu.gpu_id: table.translate(vaddr, hint=_home)
+            )
+        self.cpu.translate = lambda vaddr: table.translate(
+            vaddr, hint=self.cpu_cluster
+        )
+        return self.page_table
+
+    # ------------------------------------------------------------------
+    # Memory ports
+    # ------------------------------------------------------------------
+    def _wire_ports(self) -> None:
+        for gpu in self.gpus:
+            gpu.decode = self.mapping.decode
+            gpu.memory_port = self._make_gpu_port(gpu.gpu_id)
+        self.cpu.decode = self.mapping.decode
+        self.cpu.memory_port = self._cpu_port
+
+    def _make_gpu_port(self, gpu_id: int):
+        def port(access: MemoryAccess, on_done: Callable[[], None]) -> None:
+            self._gpu_request(gpu_id, access, on_done)
+
+        return port
+
+    def _gpu_request(
+        self, gpu_id: int, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        if access.decoded is None:
+            raise SimulationError("GPU request without decoded address")
+        cluster = access.decoded.cluster
+        terminal = f"gpu{gpu_id}"
+        org = self.spec.organization
+        if org is Organization.PCIE:
+            if cluster == gpu_id:
+                self._direct(terminal, access, on_done)
+            else:
+                owner = "cpu" if cluster == self.cpu_cluster else f"gpu{cluster}"
+                self._pcie_forwarded(terminal, owner, access, on_done)
+        elif org is Organization.PCN:
+            if cluster == gpu_id:
+                self._direct(terminal, access, on_done)
+            else:
+                owner = "cpu" if cluster == self.cpu_cluster else f"gpu{cluster}"
+                self._pcn_forwarded(terminal, owner, access, on_done)
+        elif org is Organization.CMN:
+            if cluster == gpu_id:
+                self._direct(terminal, access, on_done)
+            elif cluster == self.cpu_cluster:
+                self._net_request(terminal, access, on_done, router=access.decoded.local_hmc)
+            else:
+                self._net_forwarded(terminal, f"gpu{cluster}", access, on_done)
+        elif org is Organization.GMN:
+            if cluster == self.cpu_cluster:
+                self._pcie_forwarded(terminal, "cpu", access, on_done)
+            else:
+                self._net_request(terminal, access, on_done)
+        else:  # UMN
+            self._net_request(terminal, access, on_done)
+
+    def _cpu_port(self, access: MemoryAccess, on_done: Callable[[], None]) -> None:
+        if access.decoded is None:
+            raise SimulationError("CPU request without decoded address")
+        access = self._host_view(access)
+        cluster = access.decoded.cluster
+        org = self.spec.organization
+        if org is Organization.UMN:
+            self._net_request("cpu", access, on_done, pass_through=True)
+        elif org is Organization.CMN:
+            if cluster == self.cpu_cluster:
+                self._net_request("cpu", access, on_done, router=access.decoded.local_hmc)
+            else:
+                self._net_forwarded("cpu", f"gpu{cluster}", access, on_done)
+        else:  # PCIe / PCN / GMN: host data lives in (or was copied to) CPU memory
+            if cluster == self.cpu_cluster:
+                self._direct("cpu", access, on_done)
+            elif org is Organization.PCN:
+                self._pcn_forwarded("cpu", f"gpu{cluster}", access, on_done)
+            else:
+                self._pcie_forwarded("cpu", f"gpu{cluster}", access, on_done)
+
+    def _host_view(self, access: MemoryAccess) -> MemoryAccess:
+        """Under memcpy transfer, the host works on its own copy in CPU
+        memory, so host accesses to kernel buffers are served by the CPU
+        cluster."""
+        if (
+            self.spec.transfer is TransferMode.MEMCPY
+            and access.decoded is not None
+            and access.decoded.cluster != self.cpu_cluster
+        ):
+            decoded = DecodedAddress(
+                cluster=self.cpu_cluster,
+                local_hmc=access.decoded.local_hmc,
+                vault=access.decoded.vault,
+                bank=access.decoded.bank,
+                row=access.decoded.row,
+            )
+            return MemoryAccess(
+                paddr=access.paddr,
+                size=access.size,
+                type=access.type,
+                requester=access.requester,
+                decoded=decoded,
+                aid=access.aid,
+            )
+        return access
+
+    # ------------------------------------------------------------------
+    # Transport primitives
+    # ------------------------------------------------------------------
+    def _direct(
+        self, terminal: str, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        decoded = access.decoded
+        link = self._direct_links[(terminal, decoded.cluster, decoded.local_hmc)]
+        link.access(access, on_done)
+
+    def _router_of(self, decoded: DecodedAddress) -> int:
+        return decoded.cluster * self.hmcs_per_cluster + decoded.local_hmc
+
+    def _net_request(
+        self,
+        terminal: str,
+        access: MemoryAccess,
+        on_done: Callable[[], None],
+        router: Optional[int] = None,
+        pass_through: bool = False,
+    ) -> None:
+        assert self.network is not None
+        dst = self._router_of(access.decoded) if router is None else router
+        self._pending[access.aid] = on_done
+        packet = Packet(
+            kind=_packet_kind(access.type),
+            src=terminal,
+            dst=dst,
+            size_bytes=_request_bytes(access, self.cfg.network.header_bytes),
+            payload=NetEnvelope("req", access, reply_to=terminal),
+            pass_through=pass_through,
+        )
+        self.network.send(packet)
+
+    def _net_forwarded(
+        self,
+        terminal: str,
+        owner_terminal: str,
+        access: MemoryAccess,
+        on_done: Callable[[], None],
+    ) -> None:
+        """CMN: reach a remote GPU's memory through the network and the
+        remote GPU itself (no direct HMC-to-HMC path exists)."""
+        assert self.network is not None
+        self._pending[access.aid] = on_done
+        packet = Packet(
+            kind=_packet_kind(access.type),
+            src=terminal,
+            dst=owner_terminal,
+            size_bytes=_request_bytes(access, self.cfg.network.header_bytes),
+            payload=NetEnvelope("fwd_req", access, reply_to=terminal),
+        )
+        self.network.send(packet)
+
+    def _pcie_forwarded(
+        self,
+        terminal: str,
+        owner_terminal: str,
+        access: MemoryAccess,
+        on_done: Callable[[], None],
+    ) -> None:
+        """Conventional path: PCIe to the owning device, which forwards the
+        request to its local HMC and returns the response over PCIe."""
+        assert self.pcie is not None
+        req_bytes = _request_bytes(access, self.cfg.network.header_bytes)
+        resp_bytes = _response_bytes(access, self.cfg.network.header_bytes)
+
+        def at_owner() -> None:
+            def served() -> None:
+                self.sim.after(
+                    GPU_FORWARD_PS,
+                    lambda: self.pcie.transaction(
+                        owner_terminal, terminal, resp_bytes, on_done
+                    ),
+                )
+
+            self.sim.after(
+                GPU_FORWARD_PS, lambda: self._direct(owner_terminal, access, served)
+            )
+
+        self.pcie.transaction(terminal, owner_terminal, req_bytes, at_owner)
+
+    def _pcn_forwarded(
+        self,
+        terminal: str,
+        owner_terminal: str,
+        access: MemoryAccess,
+        on_done: Callable[[], None],
+    ) -> None:
+        """NVLink-style path: the dedicated point-to-point link to the
+        owning processor, which forwards to its local HMC (extension)."""
+        assert self.pcn is not None
+        req_bytes = _request_bytes(access, self.cfg.network.header_bytes)
+        resp_bytes = _response_bytes(access, self.cfg.network.header_bytes)
+
+        def at_owner() -> None:
+            def served() -> None:
+                self.sim.after(
+                    GPU_FORWARD_PS,
+                    lambda: self.pcn.transaction(
+                        owner_terminal, terminal, resp_bytes, on_done
+                    ),
+                )
+
+            self.sim.after(
+                GPU_FORWARD_PS, lambda: self._direct(owner_terminal, access, served)
+            )
+
+        self.pcn.transaction(terminal, owner_terminal, req_bytes, at_owner)
+
+    # ------------------------------------------------------------------
+    # Network packet handlers
+    # ------------------------------------------------------------------
+    def _on_router_packet(self, router: int, hmc: HMC, packet: Packet) -> None:
+        envelope: NetEnvelope = packet.payload
+        if envelope.kind != "req":
+            raise SimulationError(f"router {router} received {envelope.kind} packet")
+        access = envelope.access
+
+        def served(_: MemoryAccess) -> None:
+            assert self.network is not None
+            response = Packet(
+                kind=response_kind(packet.kind),
+                src=router,
+                dst=envelope.reply_to,
+                size_bytes=_response_bytes(access, self.cfg.network.header_bytes),
+                payload=NetEnvelope("resp", access),
+                pass_through=packet.pass_through,
+            )
+            self.network.send(response)
+
+        hmc.access(access, served)
+
+    def _on_terminal_packet(self, packet: Packet) -> None:
+        envelope: NetEnvelope = packet.payload
+        access = envelope.access
+        if envelope.kind == "resp":
+            try:
+                on_done = self._pending.pop(access.aid)
+            except KeyError:
+                raise SimulationError(
+                    f"response for unknown access {access.aid}"
+                ) from None
+            on_done()
+        elif envelope.kind == "fwd_req":
+            owner = str(packet.dst)
+
+            def served() -> None:
+                assert self.network is not None
+                response = Packet(
+                    kind=response_kind(packet.kind),
+                    src=owner,
+                    dst=envelope.reply_to,
+                    size_bytes=_response_bytes(access, self.cfg.network.header_bytes),
+                    payload=NetEnvelope("resp", access),
+                )
+                self.sim.after(GPU_FORWARD_PS, lambda: self.network.send(response))
+
+            self.sim.after(GPU_FORWARD_PS, lambda: self._direct(owner, access, served))
+        else:
+            raise SimulationError(f"unexpected envelope kind {envelope.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def all_channels(self) -> List[Channel]:
+        """Every channel in the system (network + direct links)."""
+        channels: List[Channel] = []
+        if self.network is not None:
+            channels.extend(self.network.topo.channels)
+            for atts in self.network.topo.terminals.values():
+                for att in atts:
+                    channels.extend((att.inject, att.eject))
+        for link in self._direct_links.values():
+            channels.extend((link.req, link.resp))
+        return channels
+
+    def network_channels(self) -> List[Channel]:
+        """Channels of the memory network only (Fig. 17 energy scope)."""
+        if self.network is None:
+            return []
+        channels = list(self.network.topo.channels)
+        for atts in self.network.topo.terminals.values():
+            for att in atts:
+                channels.extend((att.inject, att.eject))
+        return channels
+
+    @property
+    def hmc_list(self) -> List[HMC]:
+        return list(self.hmcs.values())

@@ -1,0 +1,96 @@
+"""Evaluated multi-GPU architectures (Table III).
+
+An :class:`ArchSpec` names an interconnect organization (Fig. 8), a data
+transfer mode, and — for organizations with a memory network — a topology
+and routing policy.  The seven named configurations of Table III are exposed
+in :data:`TABLE_III`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import ConfigError
+
+
+class Organization(enum.Enum):
+    """Where in the system a memory network is used (Section IV-B)."""
+
+    PCIE = "pcie"  # conventional PCIe-based multi-GPU (Fig. 1(a))
+    PCN = "pcn"    # NVLink-style processor-centric network (Fig. 1(b))
+    CMN = "cmn"    # CPU memory network (Fig. 8(a))
+    GMN = "gmn"    # GPU memory network (Fig. 8(b))
+    UMN = "umn"    # unified memory network (Fig. 8(c))
+
+
+class TransferMode(enum.Enum):
+    """How kernel inputs/outputs move between host and device memory."""
+
+    MEMCPY = "memcpy"      # blocking copies before/after kernels
+    ZERO_COPY = "zero_copy"  # data stays in CPU memory, accessed remotely
+    NO_COPY = "no_copy"    # UMN: one shared physical memory, nothing moves
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One evaluated architecture."""
+
+    name: str
+    organization: Organization
+    transfer: TransferMode
+    #: Memory-network topology (GMN/UMN); ignored for PCIe, fixed for CMN.
+    topology: str = "sfbfly"
+    routing: str = "min"
+    #: CTA assignment policy for SKE (Section III-B).
+    cta_policy: str = "static"
+
+    def __post_init__(self) -> None:
+        if self.organization is Organization.UMN and self.transfer is not TransferMode.NO_COPY:
+            raise ConfigError("UMN shares physical memory; use NO_COPY")
+        if self.organization is not Organization.UMN and self.transfer is TransferMode.NO_COPY:
+            raise ConfigError("NO_COPY requires the unified memory network")
+
+    @property
+    def has_network(self) -> bool:
+        return self.organization is not Organization.PCIE
+
+    def with_(self, **overrides) -> "ArchSpec":
+        return replace(self, **overrides)
+
+
+def _spec(name: str, org: Organization, transfer: TransferMode, **kw) -> ArchSpec:
+    return ArchSpec(name=name, organization=org, transfer=transfer, **kw)
+
+
+#: The seven architectures of Table III.
+TABLE_III: Dict[str, ArchSpec] = {
+    "PCIe": _spec("PCIe", Organization.PCIE, TransferMode.MEMCPY),
+    "PCIe-ZC": _spec("PCIe-ZC", Organization.PCIE, TransferMode.ZERO_COPY),
+    "CMN": _spec("CMN", Organization.CMN, TransferMode.MEMCPY),
+    "CMN-ZC": _spec("CMN-ZC", Organization.CMN, TransferMode.ZERO_COPY),
+    "GMN": _spec("GMN", Organization.GMN, TransferMode.MEMCPY),
+    "GMN-ZC": _spec("GMN-ZC", Organization.GMN, TransferMode.ZERO_COPY),
+    "UMN": _spec("UMN", Organization.UMN, TransferMode.NO_COPY),
+}
+
+#: Extension architectures (not in Table III): an NVLink-style
+#: processor-centric network, the alternative the paper contrasts in
+#: Section II (Fig. 1(b)).
+EXTENSION_ARCHS: Dict[str, ArchSpec] = {
+    "NVLink": _spec("NVLink", Organization.PCN, TransferMode.MEMCPY),
+    "NVLink-ZC": _spec("NVLink-ZC", Organization.PCN, TransferMode.ZERO_COPY),
+}
+
+
+def get_spec(name: str) -> ArchSpec:
+    """Look up an architecture by name (Table III + extensions)."""
+    for registry in (TABLE_III, EXTENSION_ARCHS):
+        for key, spec in registry.items():
+            if key.lower() == name.lower():
+                return spec
+    raise ConfigError(
+        f"unknown architecture {name!r}; available: "
+        f"{list(TABLE_III) + list(EXTENSION_ARCHS)}"
+    )

@@ -1,0 +1,49 @@
+"""Interconnect energy model (Section VI-A, parameters from [5]).
+
+Energy per bit: 2.0 pJ for transmitted ("real") bits, 1.5 pJ for idle
+bit-slots.  A channel's idle bit-slots over a window are its capacity in
+bits minus what it actually carried, so adding channels raises power (more
+idle capacity) while shortening runtime lowers energy — the trade-off
+Fig. 17 explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..config import EnergyConfig
+from ..network.channel import Channel
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    active_pj: float
+    idle_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.active_pj + self.idle_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.active_pj + other.active_pj, self.idle_pj + other.idle_pj
+        )
+
+
+def network_energy(
+    channels: Iterable[Channel],
+    elapsed_ps: int,
+    cfg: EnergyConfig = EnergyConfig(),
+) -> EnergyBreakdown:
+    """Total energy of the given channels over an ``elapsed_ps`` window."""
+    active = 0.0
+    idle = 0.0
+    for ch in channels:
+        active += ch.active_energy_pj(cfg.active_pj_per_bit)
+        idle += ch.idle_energy_pj(elapsed_ps, cfg.idle_pj_per_bit)
+    return EnergyBreakdown(active_pj=active, idle_pj=idle)

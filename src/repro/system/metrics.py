@@ -1,0 +1,86 @@
+"""Run results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .energy import EnergyBreakdown
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one workload run on one architecture."""
+
+    workload: str
+    arch: str
+    #: Sum of kernel execution times across all launches.
+    kernel_ps: int = 0
+    h2d_ps: int = 0
+    d2h_ps: int = 0
+    #: Host-thread (CPU) compute/memory time outside kernels.
+    host_ps: int = 0
+    #: End-to-end simulated time of the run.
+    total_ps: int = 0
+    #: Per-kernel runtimes in launch order.
+    kernel_breakdown_ps: List[int] = field(default_factory=list)
+
+    # Network
+    net_delivered: int = 0
+    avg_net_latency_ps: float = 0.0
+    avg_hops: float = 0.0
+    #: terminal -> router -> bytes (Fig. 10), when collected.
+    traffic_matrix: Optional[List[List[int]]] = None
+
+    # Caches / memory
+    l1_hit_rate: float = 0.0
+    l2_hit_rate: float = 0.0
+    hmc_row_hit_rate: float = 0.0
+    memory_requests: int = 0
+
+    # Energy (network organizations only)
+    energy: Optional[EnergyBreakdown] = None
+
+    events_executed: int = 0
+
+    @property
+    def memcpy_ps(self) -> int:
+        return self.h2d_ps + self.d2h_ps
+
+    @property
+    def runtime_ps(self) -> int:
+        """Kernel + memcpy + host time (the Fig. 14 stacked metric)."""
+        return self.kernel_ps + self.memcpy_ps + self.host_ps
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        if self.runtime_ps == 0:
+            raise ZeroDivisionError("runtime is zero")
+        return baseline.runtime_ps / self.runtime_ps
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reporting."""
+        return {
+            "workload": self.workload,
+            "arch": self.arch,
+            "kernel_us": self.kernel_ps / 1e6,
+            "memcpy_us": self.memcpy_ps / 1e6,
+            "host_us": self.host_ps / 1e6,
+            "total_us": self.runtime_ps / 1e6,
+            "avg_net_latency_ns": self.avg_net_latency_ps / 1e3,
+            "avg_hops": round(self.avg_hops, 2),
+            "l1_hit": round(self.l1_hit_rate, 3),
+            "l2_hit": round(self.l2_hit_rate, 3),
+            "energy_uj": self.energy.total_uj if self.energy else 0.0,
+        }
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, used for the paper's average speedups."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,171 @@
+"""Experiment runner: execute one workload on one architecture.
+
+The runner drives the workload's steps in order (Fig. 5 command-queue
+semantics): an optional blocking host-to-device copy, then kernels on the
+virtual GPU interleaved with host-thread steps, then the device-to-host
+copy.  It returns a :class:`~repro.system.metrics.RunResult` with the
+Fig. 14 breakdown plus network/cache/energy statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core.virtual_gpu import VirtualGPU
+from ..errors import SimulationError
+from ..workloads.base import HostStep, KernelStep, Workload
+from .builder import MultiGPUSystem
+from .configs import ArchSpec
+from .energy import network_energy
+from .memcpy import memcpy_time_ps
+from .metrics import RunResult
+
+
+def run_workload(
+    spec: ArchSpec,
+    workload: Workload,
+    cfg: Optional[SystemConfig] = None,
+    placement_policy: str = "random",
+    placement_clusters: Optional[List[int]] = None,
+    placement_weights: Optional[List[float]] = None,
+    num_active_gpus: Optional[int] = None,
+    collect_traffic: bool = False,
+    seed: Optional[int] = None,
+) -> RunResult:
+    """Simulate ``workload`` on the architecture described by ``spec``.
+
+    ``num_active_gpus`` restricts kernel execution to the first N GPUs (all
+    memory stays visible), as in the Fig. 7 remote-access study.
+    ``placement_*`` override the page placement the transfer mode implies.
+    """
+    result, _ = run_workload_detailed(
+        spec,
+        workload,
+        cfg=cfg,
+        placement_policy=placement_policy,
+        placement_clusters=placement_clusters,
+        placement_weights=placement_weights,
+        num_active_gpus=num_active_gpus,
+        collect_traffic=collect_traffic,
+        seed=seed,
+    )
+    return result
+
+
+def run_workload_detailed(
+    spec: ArchSpec,
+    workload: Workload,
+    cfg: Optional[SystemConfig] = None,
+    placement_policy: str = "random",
+    placement_clusters: Optional[List[int]] = None,
+    placement_weights: Optional[List[float]] = None,
+    num_active_gpus: Optional[int] = None,
+    collect_traffic: bool = False,
+    seed: Optional[int] = None,
+):
+    """Like :func:`run_workload` but also returns the finished
+    :class:`~repro.system.builder.MultiGPUSystem` for post-run inspection
+    (e.g. :func:`repro.system.report.system_report`)."""
+    cfg = cfg or SystemConfig()
+    system = MultiGPUSystem(spec, cfg)
+    system.install_page_table(
+        policy=placement_policy,
+        clusters=placement_clusters,
+        weights=placement_weights,
+        seed=seed,
+    )
+    sim = system.sim
+
+    vgpu = system.vgpu
+    if num_active_gpus is not None:
+        if not 1 <= num_active_gpus <= cfg.num_gpus:
+            raise SimulationError(
+                f"num_active_gpus={num_active_gpus} outside [1, {cfg.num_gpus}]"
+            )
+        vgpu = VirtualGPU(sim, system.gpus[:num_active_gpus], policy=spec.cta_policy)
+
+    result = RunResult(workload=workload.name, arch=spec.name)
+    result.h2d_ps = memcpy_time_ps(spec, cfg, workload.h2d_bytes)
+    result.d2h_ps = memcpy_time_ps(spec, cfg, workload.d2h_bytes)
+
+    steps = list(workload.steps)
+    state = {"idx": 0, "host_start": 0, "finished": False}
+
+    def run_step() -> None:
+        idx = state["idx"]
+        if idx >= len(steps):
+            # Device-to-host copy, then done.
+            sim.after(result.d2h_ps, finish)
+            return
+        state["idx"] = idx + 1
+        step = steps[idx]
+        if isinstance(step, KernelStep):
+            launch = vgpu.launch(step.kernel, on_done=run_step)
+            result.kernel_breakdown_ps.append(-1)  # patched in finish()
+            del launch
+        elif isinstance(step, HostStep):
+            state["host_start"] = sim.now
+
+            def host_done() -> None:
+                result.host_ps += sim.now - state["host_start"]
+                run_step()
+
+            system.cpu.run_program(step.phases, host_done)
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown step type {type(step)!r}")
+
+    def finish() -> None:
+        state["finished"] = True
+
+    sim.after(result.h2d_ps, run_step)
+    sim.run()
+    if not state["finished"]:
+        raise SimulationError(
+            f"run of {workload.name} on {spec.name} deadlocked: "
+            f"{sim.pending_events} events pending, step {state['idx']}/{len(steps)}"
+        )
+
+    _collect(result, system, vgpu, collect_traffic)
+    return result, system
+
+
+def _collect(
+    result: RunResult,
+    system: MultiGPUSystem,
+    vgpu: VirtualGPU,
+    collect_traffic: bool,
+) -> None:
+    sim = system.sim
+    result.total_ps = sim.now
+    result.kernel_ps = vgpu.total_kernel_ps()
+    result.kernel_breakdown_ps = [l.runtime_ps for l in vgpu.launches]
+    result.events_executed = sim.events_executed
+
+    gpus = vgpu.gpus
+    l1_hits = sum(s.l1.stats.hits for g in gpus for s in g.sms)
+    l1_total = sum(s.l1.stats.accesses for g in gpus for s in g.sms)
+    l2_hits = sum(g.l2.stats.hits for g in gpus)
+    l2_total = sum(g.l2.stats.accesses for g in gpus)
+    result.l1_hit_rate = l1_hits / l1_total if l1_total else 0.0
+    result.l2_hit_rate = l2_hits / l2_total if l2_total else 0.0
+    result.memory_requests = sum(g.stats.memory_requests for g in gpus)
+
+    served = sum(h.total_served for h in system.hmc_list)
+    hits = sum(
+        v.stats.row_hits for h in system.hmc_list for v in h.vaults
+    )
+    result.hmc_row_hit_rate = hits / served if served else 0.0
+
+    if system.network is not None:
+        stats = system.network.stats
+        result.net_delivered = stats.delivered
+        result.avg_net_latency_ps = stats.avg_latency_ps
+        result.avg_hops = stats.avg_hops
+        window = max(1, result.kernel_ps)
+        result.energy = network_energy(
+            system.network_channels(), window, system.cfg.energy
+        )
+        if collect_traffic:
+            terminals = [f"gpu{g}" for g in range(system.num_gpus)]
+            result.traffic_matrix = system.network.traffic_matrix(terminals)

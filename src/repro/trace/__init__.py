@@ -1,0 +1,12 @@
+"""Trace-driven simulation: record memory traces, replay them anywhere."""
+
+from .recorder import TraceEvent, TraceRecorder, load_trace
+from .replay import ReplayResult, replay_trace
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "load_trace",
+    "ReplayResult",
+    "replay_trace",
+]

@@ -1,0 +1,105 @@
+"""Memory-trace recording.
+
+A :class:`TraceRecorder` wraps the memory ports of a built system and logs
+every request the GPUs and the CPU emit past their caches — timestamp,
+requester, physical address, size, access type — plus the observed service
+latency.  Traces serialize to JSON-lines for portability and feed the
+trace-driven replay engine (:mod:`repro.trace.replay`), which re-injects
+them open-loop onto a *different* interconnect — the classic trace-driven
+methodology for comparing memory systems.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+from ..mem import AccessType, MemoryAccess
+from ..system.builder import MultiGPUSystem
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded memory request."""
+
+    t_ps: int
+    requester: str
+    paddr: int
+    size: int
+    type: str  # AccessType value
+    latency_ps: int = -1  # filled at completion; -1 if never completed
+
+    @property
+    def access_type(self) -> AccessType:
+        return AccessType(self.type)
+
+
+class TraceRecorder:
+    """Attachable recorder for a :class:`MultiGPUSystem`'s memory traffic."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._open: dict = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, system: MultiGPUSystem) -> None:
+        """Intercept every GPU and CPU memory port of ``system``."""
+        for gpu in system.gpus:
+            gpu.memory_port = self._wrap(system, gpu.memory_port)
+        system.cpu.memory_port = self._wrap(system, system.cpu.memory_port)
+
+    def _wrap(self, system: MultiGPUSystem, port):
+        def recording_port(access: MemoryAccess, on_done) -> None:
+            index = len(self.events)
+            self.events.append(
+                TraceEvent(
+                    t_ps=system.sim.now,
+                    requester=access.requester,
+                    paddr=access.paddr,
+                    size=access.size,
+                    type=access.type.value,
+                )
+            )
+            issued = system.sim.now
+
+            def done() -> None:
+                event = self.events[index]
+                self.events[index] = TraceEvent(
+                    t_ps=event.t_ps,
+                    requester=event.requester,
+                    paddr=event.paddr,
+                    size=event.size,
+                    type=event.type,
+                    latency_ps=system.sim.now - issued,
+                )
+                on_done()
+
+            port(access, done)
+
+        return recording_port
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the trace as JSON-lines."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(asdict(event)) + "\n")
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def completed_events(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.latency_ps >= 0]
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    """Read a JSON-lines trace written by :meth:`TraceRecorder.save`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent(**json.loads(line)))
+    return events

@@ -1,0 +1,44 @@
+"""Physical units and clock-domain constants used throughout the simulator.
+
+All simulation time is integer **picoseconds** so that the different clock
+domains in the modeled system (network 1.25 GHz, DRAM 800 MHz, GPU core
+1.4 GHz, CPU 4 GHz) can be mixed without floating-point drift.
+"""
+
+# ---------------------------------------------------------------------------
+# Time units (picoseconds)
+# ---------------------------------------------------------------------------
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+
+#: Network (HMC logic-layer / SerDes symbol) clock: 1.25 GHz.
+NET_CYCLE_PS = 800
+#: DRAM clock from Table I: tCK = 1.25 ns.
+DRAM_CYCLE_PS = 1_250
+#: GPU core clock: 1.4 GHz (Table I), rounded to an integer ps period.
+GPU_CYCLE_PS = 714
+#: GPU L2 / crossbar clocks (Table I: 700 MHz / 1.25 GHz).
+GPU_L2_CYCLE_PS = 1_429
+#: CPU core clock: 4 GHz.
+CPU_CYCLE_PS = 250
+
+# ---------------------------------------------------------------------------
+# Size units (bytes)
+# ---------------------------------------------------------------------------
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+def bytes_per_ps(gigabytes_per_second: float) -> float:
+    """Convert a GB/s bandwidth figure into bytes per picosecond."""
+    return gigabytes_per_second * GB / 1e12
+
+
+def transfer_ps(num_bytes: int, gigabytes_per_second: float) -> int:
+    """Serialization delay (ps) for ``num_bytes`` at the given bandwidth."""
+    if num_bytes <= 0:
+        return 0
+    return max(1, round(num_bytes / bytes_per_ps(gigabytes_per_second)))

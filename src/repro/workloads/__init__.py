@@ -1,0 +1,42 @@
+"""Workload suite: Table II synthetic kernels plus vectorAdd."""
+
+from .base import HostStep, KernelStep, Step, Workload
+from .patterns import (
+    LINE,
+    Region,
+    random_program,
+    shared_stream_program,
+    stencil_program,
+    stream_program,
+)
+from .suite import (
+    SCALABILITY_WORKLOADS,
+    WORKLOAD_NAMES,
+    WORKLOAD_SPECS,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    make_workload,
+)
+from .vectoradd import make_vectoradd
+
+__all__ = [
+    "HostStep",
+    "KernelStep",
+    "Step",
+    "Workload",
+    "LINE",
+    "Region",
+    "random_program",
+    "shared_stream_program",
+    "stencil_program",
+    "stream_program",
+    "SCALABILITY_WORKLOADS",
+    "WORKLOAD_NAMES",
+    "WORKLOAD_SPECS",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "make_workload",
+    "make_vectoradd",
+]

@@ -1,0 +1,59 @@
+"""Workload abstraction: what the runner executes.
+
+A workload is an ordered list of steps — kernel launches on the virtual GPU
+and host-thread steps on the CPU — plus the host<->device copy volumes that
+the memcpy transfer mode must move (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from ..core.kernel import Kernel
+from ..cpu.host import HostPhase
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KernelStep:
+    kernel: Kernel
+
+
+@dataclass(frozen=True)
+class HostStep:
+    phases: Sequence[HostPhase]
+
+
+Step = Union[KernelStep, HostStep]
+
+
+@dataclass
+class Workload:
+    """A runnable workload."""
+
+    name: str
+    steps: List[Step]
+    #: Input bytes copied host->device before the first kernel (memcpy mode).
+    h2d_bytes: int = 0
+    #: Output bytes copied device->host after the last kernel (memcpy mode).
+    d2h_bytes: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.h2d_bytes < 0 or self.d2h_bytes < 0:
+            raise ConfigError("copy volumes must be >= 0")
+        if not self.steps:
+            raise ConfigError(f"workload {self.name} has no steps")
+
+    @property
+    def kernels(self) -> List[Kernel]:
+        return [s.kernel for s in self.steps if isinstance(s, KernelStep)]
+
+    @property
+    def num_ctas(self) -> int:
+        return sum(k.num_ctas for k in self.kernels)
+
+    @property
+    def has_host_work(self) -> bool:
+        return any(isinstance(s, HostStep) for s in self.steps)

@@ -1,0 +1,353 @@
+"""The evaluated workload suite (Table II) as parameterized synthetic kernels.
+
+We cannot run the CUDA originals (no GPU hardware or traces here — see
+DESIGN.md section 2), so each workload is a synthetic kernel whose *traits*
+are calibrated to what the paper reports or implies about it: CTA count,
+access pattern, compute intensity, read/write/atomic mix, multi-kernel
+structure, host<->device copy volume, and host-thread participation.
+
+The ``scale`` parameter multiplies the problem size; ``scale=1`` is sized so
+a full 4-GPU simulation finishes in seconds on a laptop while still keeping
+hundreds of CTAs in flight (except CG.S, whose *point* is having too few
+CTAs, Section V-A).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.kernel import Kernel, Phase
+from ..cpu.host import HostAccess, HostPhase
+from ..errors import ConfigError
+from ..mem import AccessType
+from .base import HostStep, KernelStep, Step, Workload
+from .patterns import (
+    LINE,
+    Region,
+    random_program,
+    shared_stream_program,
+    stencil_program,
+    stream_program,
+)
+
+# Virtual layout: well-separated, page-aligned region bases.
+_BASE_A = 0x1_0000_0000
+_BASE_B = 0x2_0000_0000
+_BASE_OUT = 0x3_0000_0000
+_BASE_SHARED = 0x4_0000_0000
+_BASE_ATOMIC = 0x5_0000_0000
+_BASE_HOST = 0x6_0000_0000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Tuning knobs for one synthetic workload."""
+
+    name: str
+    full_name: str
+    input_size: str  # Table II description
+    pattern: str  # stream | stencil | random | shared_stream
+    base_ctas: int
+    num_kernels: int = 1
+    phases_per_cta: int = 2
+    read_lines: int = 4
+    write_lines: int = 1
+    compute_ps: int = 4_000
+    two_inputs: bool = False
+    # random pattern
+    footprint_factor: float = 4.0
+    atomic_fraction: float = 0.0
+    # stencil pattern
+    halo_rows: int = 1
+    # shared_stream pattern
+    shared_lines: int = 16
+    # memcpy volume per CTA (bytes)
+    h2d_per_cta: int = 2 * LINE * 4
+    d2h_per_cta: int = LINE
+    # host-thread participation (CG.S / FT.S)
+    host_phases_per_step: int = 0
+    host_reads_per_phase: int = 16
+    host_compute_ps: int = 3_000
+    seed: int = 7
+
+
+def _host_phases(
+    spec: WorkloadSpec, region: Region, step_index: int
+) -> List[HostPhase]:
+    rng = random.Random((spec.seed << 16) ^ step_index)
+    phases = []
+    for _ in range(spec.host_phases_per_step):
+        accesses = tuple(
+            HostAccess(
+                vaddr=region.line_addr(rng.randrange(region.lines)),
+                size=64,
+                type=AccessType.READ,
+            )
+            for _ in range(spec.host_reads_per_phase)
+        )
+        phases.append(HostPhase(compute_ps=spec.host_compute_ps, accesses=accesses))
+    return phases
+
+
+def _grid_for(spec: WorkloadSpec, num_ctas: int) -> Tuple[int, ...]:
+    """Stencil workloads get a 2D grid (their CUDA originals are 2D/3D)."""
+    if spec.pattern != "stencil" or num_ctas < 4:
+        return (num_ctas,)
+    cols = 1
+    c = int(num_ctas ** 0.5)
+    while c > 1:
+        if num_ctas % c == 0:
+            cols = c
+            break
+        c -= 1
+    return (cols, num_ctas // cols) if cols > 1 else (num_ctas,)
+
+
+def make_workload(spec: WorkloadSpec, scale: float = 1.0) -> Workload:
+    """Instantiate a workload from its spec at the given problem scale."""
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    num_ctas = max(1, round(spec.base_ctas * scale))
+    chunks = num_ctas * spec.phases_per_cta
+    # Multi-pass (multi-kernel) workloads stream over distinct data per
+    # pass; stencil/random workloads intentionally revisit the same data.
+    stream_span = chunks * max(
+        1, spec.num_kernels if spec.pattern in ("stream", "shared_stream") else 1
+    )
+
+    inputs = [Region(_BASE_A, max(1, stream_span * spec.read_lines))]
+    if spec.two_inputs:
+        inputs.append(Region(_BASE_B, max(1, stream_span * spec.read_lines)))
+    output = Region(_BASE_OUT, max(1, stream_span * spec.write_lines))
+    shared = Region(
+        _BASE_SHARED, max(1, spec.shared_lines * spec.phases_per_cta)
+    )
+    footprint = Region(
+        _BASE_A,
+        max(
+            1,
+            round(chunks * spec.read_lines * spec.footprint_factor),
+        ),
+    )
+    atomic_region = Region(_BASE_ATOMIC, max(1, num_ctas // 4 + 1))
+    host_region = output
+
+    def program_for(kernel_idx: int):
+        chunk_base = kernel_idx * chunks
+
+        def cta_program(cta: int) -> Sequence[Phase]:
+            if spec.pattern == "stream":
+                return stream_program(
+                    cta,
+                    spec.phases_per_cta,
+                    spec.read_lines,
+                    spec.write_lines,
+                    spec.compute_ps,
+                    inputs,
+                    output,
+                    chunk_base=chunk_base,
+                )
+            if spec.pattern == "stencil":
+                return stencil_program(
+                    cta,
+                    spec.phases_per_cta,
+                    spec.read_lines,
+                    spec.halo_rows,
+                    spec.compute_ps,
+                    inputs[0],
+                    output,
+                )
+            if spec.pattern == "random":
+                return random_program(
+                    cta,
+                    spec.phases_per_cta,
+                    spec.read_lines,
+                    spec.write_lines,
+                    spec.compute_ps,
+                    footprint,
+                    atomic_region,
+                    spec.atomic_fraction,
+                    spec.seed + kernel_idx,
+                )
+            if spec.pattern == "shared_stream":
+                return shared_stream_program(
+                    cta,
+                    spec.phases_per_cta,
+                    spec.shared_lines,
+                    spec.read_lines,
+                    spec.write_lines,
+                    spec.compute_ps,
+                    shared,
+                    inputs[0],
+                    output,
+                    chunk_base=chunk_base,
+                )
+            raise ConfigError(f"unknown pattern {spec.pattern!r}")
+
+        return cta_program
+
+    grid = _grid_for(spec, num_ctas)
+    steps: List[Step] = []
+    for k in range(spec.num_kernels):
+        kernel = Kernel(
+            name=f"{spec.name}.k{k}",
+            grid_dim=grid,
+            cta_program=program_for(k),
+            workload=spec.name,
+        )
+        steps.append(KernelStep(kernel))
+        if spec.host_phases_per_step:
+            steps.append(HostStep(tuple(_host_phases(spec, host_region, k))))
+
+    return Workload(
+        name=spec.name,
+        steps=steps,
+        h2d_bytes=num_ctas * spec.h2d_per_cta,
+        d2h_bytes=num_ctas * spec.d2h_per_cta,
+        description=f"{spec.full_name} ({spec.input_size})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II, calibrated to each workload's qualitative traits
+# ---------------------------------------------------------------------------
+WORKLOAD_SPECS: Dict[str, WorkloadSpec] = {
+    # Back Propagation: two memory-bound streaming kernels (forward/backward)
+    # with a large input; memcpy exceeds kernel time (Section VI-B).
+    "BP": WorkloadSpec(
+        name="BP", full_name="Back Propagation", input_size="1M points",
+        pattern="stream", base_ctas=384, num_kernels=2, phases_per_cta=2,
+        read_lines=6, write_lines=2, compute_ps=1_500, two_inputs=True,
+        h2d_per_cta=16 * LINE, d2h_per_cta=2 * LINE,
+    ),
+    # Breadth First Search: irregular frontier expansion with atomics.
+    "BFS": WorkloadSpec(
+        name="BFS", full_name="Breadth First Search", input_size="1M nodes",
+        pattern="random", base_ctas=320, num_kernels=2, phases_per_cta=2,
+        read_lines=6, write_lines=2, compute_ps=7_000,
+        footprint_factor=6.0, atomic_fraction=0.25,
+        h2d_per_cta=8 * LINE, d2h_per_cta=LINE,
+    ),
+    # SRAD: 2D stencil over a 2K x 2K grid; neighbour CTAs share halos.
+    "SRAD": WorkloadSpec(
+        name="SRAD", full_name="Speckle Reducing Anisotropic Diffusion",
+        input_size="2K x 2K grids", pattern="stencil", base_ctas=256,
+        num_kernels=2, phases_per_cta=2, read_lines=4, write_lines=4,
+        compute_ps=14_000, halo_rows=1, h2d_per_cta=10 * LINE,
+        d2h_per_cta=4 * LINE,
+    ),
+    # K-means: every CTA re-reads the centroid table while streaming points;
+    # near-uniform HMC traffic (Fig. 10(a)).
+    "KMN": WorkloadSpec(
+        name="KMN", full_name="K-means", input_size="484K objects, 34 features",
+        pattern="shared_stream", base_ctas=352, num_kernels=2,
+        phases_per_cta=2, read_lines=5, write_lines=1, compute_ps=12_000,
+        shared_lines=24, h2d_per_cta=12 * LINE, d2h_per_cta=LINE,
+    ),
+    # Barnes-Hut: irregular tree walks, some atomics, decent compute.
+    "BH": WorkloadSpec(
+        name="BH", full_name="Barnes-Hut", input_size="8K bodies",
+        pattern="random", base_ctas=256, num_kernels=2, phases_per_cta=3,
+        read_lines=5, write_lines=1, compute_ps=22_000,
+        footprint_factor=3.0, atomic_fraction=0.1,
+        h2d_per_cta=6 * LINE, d2h_per_cta=LINE,
+    ),
+    # Survey propagation: irregular with frequent atomic updates.
+    "SP": WorkloadSpec(
+        name="SP", full_name="Survey Propagation",
+        input_size="100K clauses, 300K literals", pattern="random",
+        base_ctas=288, num_kernels=1, phases_per_cta=3, read_lines=5,
+        write_lines=2, compute_ps=11_000, footprint_factor=4.0,
+        atomic_fraction=0.2, h2d_per_cta=8 * LINE, d2h_per_cta=LINE,
+    ),
+    # Parallel prefix sum: pure streaming, almost no compute; memcpy
+    # dominates (Section VI-B).
+    "SCAN": WorkloadSpec(
+        name="SCAN", full_name="Parallel prefix sum", input_size="16M elements",
+        pattern="stream", base_ctas=448, num_kernels=1, phases_per_cta=2,
+        read_lines=6, write_lines=4, compute_ps=800,
+        h2d_per_cta=20 * LINE, d2h_per_cta=10 * LINE,
+    ),
+    # 3D finite difference: stencil with deep halos; memcpy dominates.
+    "3DFD": WorkloadSpec(
+        name="3DFD", full_name="3D finite difference computation",
+        input_size="1024x1024x4 grid", pattern="stencil", base_ctas=256,
+        num_kernels=1, phases_per_cta=2, read_lines=4, write_lines=4,
+        compute_ps=8_000, halo_rows=2, h2d_per_cta=24 * LINE,
+        d2h_per_cta=12 * LINE,
+    ),
+    # Fast Walsh Transform: multi-pass streaming butterfly.
+    "FWT": WorkloadSpec(
+        name="FWT", full_name="Fast Walsh Transform", input_size="8M data",
+        pattern="stream", base_ctas=288, num_kernels=3, phases_per_cta=2,
+        read_lines=4, write_lines=4, compute_ps=7_000, two_inputs=False,
+        h2d_per_cta=12 * LINE, d2h_per_cta=8 * LINE,
+    ),
+    # Conjugate Gradient, class S: too few CTAs to fill 4 GPUs -> load
+    # imbalance and hot HMCs (Fig. 10(b)); the host thread reduces between
+    # kernels (Fig. 18).
+    "CG.S": WorkloadSpec(
+        name="CG.S", full_name="Conjugate Gradient", input_size="Class S (1400 rows)",
+        pattern="random", base_ctas=48, num_kernels=4, phases_per_cta=8,
+        read_lines=8, write_lines=3, compute_ps=6_000,
+        footprint_factor=0.25, atomic_fraction=0.0,
+        h2d_per_cta=16 * LINE, d2h_per_cta=4 * LINE,
+        host_phases_per_step=12, host_reads_per_phase=12,
+    ),
+    # FFT, class S: small-ish grid, host twiddle/transpose steps.
+    "FT.S": WorkloadSpec(
+        name="FT.S", full_name="Fast Fourier Transform",
+        input_size="Class S (64x64x64)", pattern="stream", base_ctas=64,
+        num_kernels=3, phases_per_cta=3, read_lines=5, write_lines=4,
+        compute_ps=11_000, two_inputs=True, h2d_per_cta=16 * LINE,
+        d2h_per_cta=8 * LINE, host_phases_per_step=10,
+        host_reads_per_phase=10,
+    ),
+    # Ray tracing: shared scene reads + heavy per-CTA compute.
+    "RAY": WorkloadSpec(
+        name="RAY", full_name="Ray Tracing", input_size="1024x1024 screen",
+        pattern="shared_stream", base_ctas=320, num_kernels=1,
+        phases_per_cta=2, read_lines=3, write_lines=1, compute_ps=30_000,
+        shared_lines=20, h2d_per_cta=4 * LINE, d2h_per_cta=2 * LINE,
+    ),
+    # StoreGPU: write-heavy streaming hash.
+    "STO": WorkloadSpec(
+        name="STO", full_name="Store GPU", input_size="26MB file",
+        pattern="stream", base_ctas=256, num_kernels=1, phases_per_cta=2,
+        read_lines=5, write_lines=5, compute_ps=8_000,
+        h2d_per_cta=12 * LINE, d2h_per_cta=6 * LINE,
+    ),
+    # Coulombic Potential: compute-bound; small shared atom list
+    # (near-ideal multi-GPU scaling, Fig. 19).
+    "CP": WorkloadSpec(
+        name="CP", full_name="Coulombic Potential",
+        input_size="512x256 grid, 100 atoms", pattern="shared_stream",
+        base_ctas=256, num_kernels=1, phases_per_cta=2, read_lines=2,
+        write_lines=1, compute_ps=1_000_000, shared_lines=12,
+        h2d_per_cta=2 * LINE, d2h_per_cta=LINE,
+    ),
+}
+
+#: Table II order.
+WORKLOAD_NAMES: List[str] = list(WORKLOAD_SPECS)
+
+#: The subset used for the Fig. 19 scalability study (Section VI-B3).
+SCALABILITY_WORKLOADS: List[str] = ["3DFD", "BP", "CP", "FWT", "RAY", "SCAN", "SRAD"]
+
+
+def get_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build a Table II workload by abbreviation."""
+    try:
+        spec = WORKLOAD_SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {WORKLOAD_NAMES}"
+        ) from None
+    return make_workload(spec, scale)
+
+
+def all_workloads(scale: float = 1.0) -> Dict[str, Workload]:
+    """Build the full Table II suite."""
+    return {name: get_workload(name, scale) for name in WORKLOAD_NAMES}

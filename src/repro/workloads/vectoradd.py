@@ -1,0 +1,53 @@
+"""The vectorAdd microbenchmark used by the Fig. 7 remote-access study.
+
+``c[i] = a[i] + b[i]``: each CTA reads its chunk of two input vectors and
+writes its chunk of the output — the purest streaming, memory-bound kernel.
+"""
+
+from __future__ import annotations
+
+from ..core.kernel import Kernel
+from .base import KernelStep, Workload
+from .patterns import LINE, Region, stream_program
+
+_BASE_A = 0x1_0000_0000
+_BASE_B = 0x2_0000_0000
+_BASE_C = 0x3_0000_0000
+
+
+def make_vectoradd(
+    num_ctas: int = 256,
+    lines_per_cta: int = 8,
+    phases_per_cta: int = 2,
+    compute_ps: int = 500,
+) -> Workload:
+    """Build vectorAdd with ``num_ctas`` CTAs each covering
+    ``lines_per_cta`` cache lines per input per phase."""
+    chunks = num_ctas * phases_per_cta
+    a = Region(_BASE_A, chunks * lines_per_cta)
+    b = Region(_BASE_B, chunks * lines_per_cta)
+    c = Region(_BASE_C, chunks * lines_per_cta)
+
+    def program(cta: int):
+        return stream_program(
+            cta,
+            phases_per_cta,
+            lines_per_cta,
+            lines_per_cta,
+            compute_ps,
+            [a, b],
+            c,
+        )
+
+    kernel = Kernel(
+        name="vectorAdd", grid_dim=(num_ctas,), cta_program=program,
+        workload="vectorAdd",
+    )
+    volume = chunks * lines_per_cta * LINE
+    return Workload(
+        name="vectorAdd",
+        steps=[KernelStep(kernel)],
+        h2d_bytes=2 * volume,
+        d2h_bytes=volume,
+        description="c[i] = a[i] + b[i] (CUDA SDK)",
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures: small system configurations that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, CPUConfig, GPUConfig, HMCConfig, SystemConfig
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def tiny_gpu_config(num_sms: int = 4) -> GPUConfig:
+    """A GPU small enough for unit tests but with the real memory pipeline."""
+    return GPUConfig(
+        num_sms=num_sms,
+        max_ctas_per_sm=4,
+        mshrs_per_sm=16,
+        l1=CacheConfig(8 * 1024, 4, 128, 1_428),
+        l2=CacheConfig(64 * 1024, 16, 128, 11_432),
+    )
+
+
+def tiny_system_config(num_gpus: int = 4, num_sms: int = 4) -> SystemConfig:
+    return SystemConfig(
+        num_gpus=num_gpus,
+        gpu=tiny_gpu_config(num_sms),
+        cpu=CPUConfig(max_outstanding=4),
+        hmc=HMCConfig(),
+    )
+
+
+@pytest.fixture
+def tiny_cfg() -> SystemConfig:
+    return tiny_system_config()
+
+
+@pytest.fixture
+def tiny_cfg_2gpu() -> SystemConfig:
+    return tiny_system_config(num_gpus=2)

@@ -1,0 +1,134 @@
+"""Tests for the RW:CLH:BK:CT:VL:LC:CLL:BY address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import AddressMapping
+from repro.errors import AddressError
+
+M = AddressMapping()  # 4+CPU would be 5 clusters; default is 4
+
+
+class TestFieldLayout:
+    def test_field_order_lsb_up(self):
+        names = [name for name, _, _ in M._fields]
+        assert names == ["BY", "CLL", "LC", "VL", "CT", "BK", "CLH", "RW"]
+
+    def test_line_interleaves_across_local_hmcs(self):
+        """Consecutive cache lines map to different local HMCs (Section
+        III-C fine-grained interleaving)."""
+        line = 128
+        hmcs = [M.decode(i * line).local_hmc for i in range(4)]
+        assert hmcs == [0, 1, 2, 3]
+
+    def test_cluster_field_above_page_offset(self):
+        shift, _ = M.field_info("CT")
+        assert shift >= 12  # 4 KB pages
+
+    def test_page_stays_in_one_cluster(self):
+        base = M.page_frame_base(2, 17, 4096)
+        clusters = {M.decode(base + off).cluster for off in range(0, 4096, 128)}
+        assert clusters == {2}
+
+    def test_page_lines_spread_over_all_local_hmcs(self):
+        base = M.page_frame_base(1, 3, 4096)
+        hmcs = {M.decode(base + off).local_hmc for off in range(0, 4096, 128)}
+        assert hmcs == {0, 1, 2, 3}
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(AddressError):
+            M.field_info("XX")
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(AddressError):
+            AddressMapping(vaults_per_hmc=15)
+
+
+class TestDecodeCompose:
+    def test_roundtrip_example(self):
+        paddr = M.compose(cluster=3, local_hmc=2, vault=9, bank=5, row=100, column=7)
+        d = M.decode(paddr)
+        assert (d.cluster, d.local_hmc, d.vault, d.bank, d.row) == (3, 2, 9, 5, 100)
+
+    def test_decode_negative_raises(self):
+        with pytest.raises(AddressError):
+            M.decode(-1)
+
+    def test_decode_invalid_cluster_raises(self):
+        mapping = AddressMapping(num_clusters=5)
+        shift, _ = mapping.field_info("CT")
+        with pytest.raises(AddressError):
+            mapping.decode(7 << shift)
+
+    def test_compose_overflow_raises(self):
+        with pytest.raises(AddressError):
+            M.compose(cluster=0, local_hmc=9, vault=0, bank=0, row=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cluster=st.integers(0, 3),
+        local_hmc=st.integers(0, 3),
+        vault=st.integers(0, 15),
+        bank=st.integers(0, 15),
+        row=st.integers(0, (1 << 14) - 1),
+        column=st.integers(0, 63),
+        byte=st.integers(0, 31),
+    )
+    def test_roundtrip_property(self, cluster, local_hmc, vault, bank, row, column, byte):
+        paddr = M.compose(cluster, local_hmc, vault, bank, row, column, byte)
+        d = M.decode(paddr)
+        assert d.cluster == cluster
+        assert d.local_hmc == local_hmc
+        assert d.vault == vault
+        assert d.bank == bank
+        assert d.row == row
+
+    @settings(max_examples=200, deadline=None)
+    @given(paddr=st.integers(0, (1 << 30) - 1))
+    def test_decode_is_deterministic_and_total(self, paddr):
+        # Mask the cluster field to a valid value first.
+        shift, bits = M.field_info("CT")
+        paddr &= ~(((1 << bits) - 1) << shift)
+        d1 = M.decode(paddr)
+        d2 = M.decode(paddr)
+        assert d1 == d2
+
+
+class TestPageFrames:
+    def test_distinct_frames_have_distinct_bases(self):
+        bases = {M.page_frame_base(0, seq, 4096) for seq in range(256)}
+        assert len(bases) == 256
+
+    def test_frames_do_not_overlap(self):
+        bases = sorted(M.page_frame_base(0, seq, 4096) for seq in range(64))
+        for a, b in zip(bases, bases[1:]):
+            assert b - a >= 4096
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(AddressError):
+            M.page_frame_base(7, 0, 4096)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        cluster=st.integers(0, 3),
+        seq=st.integers(0, 1 << 20),
+    )
+    def test_frame_property_cluster_invariant(self, cluster, seq):
+        """Every line of every frame decodes to the frame's cluster."""
+        base = M.page_frame_base(cluster, seq, 4096)
+        for off in (0, 128, 2048, 4096 - 128):
+            assert M.decode(base + off).cluster == cluster
+
+    def test_frames_per_cluster_is_large(self):
+        assert M.frames_per_cluster(4096) >= 1 << 20
+
+
+class TestFiveClusterMapping:
+    """UMN uses num_gpus + 1 clusters (4 GPUs + CPU)."""
+
+    def test_five_clusters_decode(self):
+        mapping = AddressMapping(num_clusters=5)
+        for c in range(5):
+            base = mapping.page_frame_base(c, 11, 4096)
+            assert mapping.decode(base).cluster == c

@@ -1,0 +1,149 @@
+"""Tests for CTA assignment policies (Section III-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cta_scheduler import (
+    RoundRobinSchedule,
+    StaticChunkSchedule,
+    StealingSchedule,
+    make_schedule,
+    partition_chunks,
+)
+from repro.errors import SchedulerError
+
+
+class TestPartitionChunks:
+    def test_even_split(self):
+        chunks = partition_chunks(8, 4)
+        assert [list(c) for c in chunks] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_uneven_split_front_loaded(self):
+        chunks = partition_chunks(10, 4)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+
+    def test_fewer_ctas_than_gpus(self):
+        chunks = partition_chunks(2, 4)
+        assert [len(c) for c in chunks] == [1, 1, 0, 0]
+
+    def test_zero_ctas(self):
+        assert all(len(c) == 0 for c in partition_chunks(0, 4))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulerError):
+            partition_chunks(4, 0)
+        with pytest.raises(SchedulerError):
+            partition_chunks(-1, 2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(n=st.integers(0, 10_000), g=st.integers(1, 64))
+    def test_partition_properties(self, n, g):
+        """Chunks are contiguous, ordered, cover the range, and balanced."""
+        chunks = partition_chunks(n, g)
+        assert len(chunks) == g
+        flat = [c for chunk in chunks for c in chunk]
+        assert flat == list(range(n))
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestStaticChunkSchedule:
+    def test_gpu_sees_only_its_chunk(self):
+        sched = StaticChunkSchedule(8, 4)
+        assert [sched.next_cta(1) for _ in range(3)] == [2, 3, None]
+
+    def test_exhaustion(self):
+        sched = StaticChunkSchedule(4, 2)
+        for g in (0, 0, 1, 1):
+            sched.next_cta(g)
+        assert sched.exhausted
+        assert sched.next_cta(0) is None
+
+    def test_bad_gpu_id(self):
+        with pytest.raises(SchedulerError):
+            StaticChunkSchedule(4, 2).next_cta(5)
+
+
+class TestRoundRobinSchedule:
+    def test_striping(self):
+        sched = RoundRobinSchedule(8, 4)
+        assert [sched.next_cta(1) for _ in range(2)] == [1, 5]
+
+    def test_covers_everything(self):
+        sched = RoundRobinSchedule(10, 3)
+        seen = set()
+        for g in range(3):
+            while True:
+                cta = sched.next_cta(g)
+                if cta is None:
+                    break
+                seen.add(cta)
+        assert seen == set(range(10))
+
+
+class TestStealingSchedule:
+    def test_behaves_statically_before_enable(self):
+        sched = StealingSchedule(8, 4)
+        assert sched.next_cta(0) == 0
+        assert sched.next_cta(0) == 1
+        assert sched.next_cta(0) is None  # own chunk empty, stealing off
+        assert sched.steals == 0
+
+    def test_steals_from_most_loaded_after_enable(self):
+        sched = StealingSchedule(8, 4)
+        sched.next_cta(0)
+        sched.next_cta(0)
+        sched.enable_stealing()
+        # GPU3's chunk is [6, 7]; stealing takes from the tail of the most
+        # loaded victim (all have 2; victim is gpu1 -> tail CTA 3).
+        stolen = sched.next_cta(0)
+        assert stolen == 3
+        assert sched.steals == 1
+
+    def test_steal_takes_tail_not_head(self):
+        sched = StealingSchedule(12, 2)
+        for _ in range(6):
+            sched.next_cta(0)
+        sched.enable_stealing()
+        assert sched.next_cta(0) == 11  # tail of gpu1's chunk [6..11]
+
+    def test_returns_none_when_everything_dispensed(self):
+        sched = StealingSchedule(2, 2)
+        sched.enable_stealing()
+        sched.next_cta(0)
+        sched.next_cta(0)  # steals gpu1's CTA
+        assert sched.next_cta(0) is None
+        assert sched.next_cta(1) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(0, 200), g=st.integers(1, 8))
+    def test_no_cta_dispensed_twice(self, n, g):
+        sched = StealingSchedule(n, g)
+        sched.enable_stealing()
+        seen = []
+        gpu = 0
+        while True:
+            cta = sched.next_cta(gpu)
+            if cta is None:
+                gpu += 1
+                if gpu >= g:
+                    break
+                continue
+            seen.append(cta)
+        assert sorted(seen) == list(range(n))
+
+
+class TestFactory:
+    def test_make_each_policy(self):
+        assert isinstance(make_schedule("static", 4, 2), StaticChunkSchedule)
+        assert isinstance(make_schedule("round_robin", 4, 2), RoundRobinSchedule)
+        assert isinstance(make_schedule("stealing", 4, 2), StealingSchedule)
+
+    def test_unknown_policy(self):
+        with pytest.raises(SchedulerError):
+            make_schedule("lottery", 4, 2)
+
+    def test_invalid_shape(self):
+        with pytest.raises(SchedulerError):
+            make_schedule("static", 4, 0)

@@ -1,0 +1,76 @@
+"""Tests for the first-touch placement extension."""
+
+import pytest
+
+from repro.core.address import AddressMapping
+from repro.core.page_table import PagePlacement, PageTable
+from repro.system.builder import MultiGPUSystem
+from repro.system.configs import TABLE_III
+from repro.system.run import run_workload
+from repro.workloads import get_workload
+from tests.conftest import tiny_system_config
+
+M = AddressMapping()
+
+
+def make_ft_table():
+    placement = PagePlacement("first_touch", [0, 1, 2, 3], seed=3)
+    return PageTable(M, placement, page_bytes=4096)
+
+
+class TestFirstTouchPolicy:
+    def test_hint_respected(self):
+        table = make_ft_table()
+        paddr = table.translate(0, hint=2)
+        assert M.decode(paddr).cluster == 2
+
+    def test_first_toucher_wins(self):
+        table = make_ft_table()
+        table.translate(0, hint=1)
+        paddr = table.translate(100, hint=3)  # same page, later toucher
+        assert M.decode(paddr).cluster == 1
+
+    def test_no_hint_falls_back_to_random(self):
+        table = make_ft_table()
+        clusters = {
+            M.decode(table.translate(v * 4096)).cluster for v in range(100)
+        }
+        assert len(clusters) > 1
+
+    def test_hint_outside_clusters_ignored(self):
+        placement = PagePlacement("first_touch", [0, 1], seed=3)
+        table = PageTable(M, placement, page_bytes=4096)
+        paddr = table.translate(0, hint=3)
+        assert M.decode(paddr).cluster in (0, 1)
+
+    def test_other_policies_ignore_hint(self):
+        placement = PagePlacement("local", [2], seed=3)
+        table = PageTable(M, placement, page_bytes=4096)
+        paddr = table.translate(0, hint=0)
+        assert M.decode(paddr).cluster == 2
+
+
+class TestFirstTouchSystem:
+    def test_gpus_pass_their_home_cluster_as_hint(self):
+        system = MultiGPUSystem(TABLE_III["UMN"], tiny_system_config())
+        table = system.install_page_table(policy="first_touch")
+        paddr = system.gpus[2].translate(0x5000_0000)
+        assert system.mapping.decode(paddr).cluster == 2
+
+    def test_cpu_hint_is_cpu_cluster(self):
+        system = MultiGPUSystem(TABLE_III["UMN"], tiny_system_config())
+        system.install_page_table(policy="first_touch")
+        paddr = system.cpu.translate(0x6000_0000)
+        assert system.mapping.decode(paddr).cluster == system.cpu_cluster
+
+    def test_streaming_workload_becomes_mostly_local(self):
+        random_r = run_workload(
+            TABLE_III["GMN"], get_workload("SCAN", 0.2),
+            cfg=tiny_system_config(), placement_policy="random",
+        )
+        ft_r = run_workload(
+            TABLE_III["GMN"], get_workload("SCAN", 0.2),
+            cfg=tiny_system_config(), placement_policy="first_touch",
+        )
+        assert ft_r.avg_hops < random_r.avg_hops
+        assert ft_r.kernel_ps <= random_r.kernel_ps

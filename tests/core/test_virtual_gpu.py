@@ -1,0 +1,124 @@
+"""Tests for the SKE virtual GPU runtime (command queue semantics)."""
+
+import pytest
+
+from repro.core.kernel import Kernel, Phase
+from repro.core.virtual_gpu import VirtualGPU
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class FakeGPU:
+    """Consumes its CTA share instantly after a fixed delay."""
+
+    def __init__(self, sim, gpu_id, delay_ps=1000):
+        self.sim = sim
+        self.gpu_id = gpu_id
+        self.delay_ps = delay_ps
+        self.launched = []
+
+    def launch(self, kernel, schedule, on_done, concurrent=False):
+        taken = []
+        while True:
+            cta = schedule.next_cta(self.gpu_id)
+            if cta is None:
+                break
+            taken.append(cta)
+        self.launched.append((kernel.name, taken))
+        self.sim.after(self.delay_ps * max(1, len(taken)), on_done)
+
+    def try_refill(self):
+        pass
+
+
+def make_kernel(name="k", ctas=8):
+    return Kernel(name, (ctas,), lambda cta: [Phase(0)])
+
+
+class TestLaunch:
+    def test_kernel_completes(self):
+        sim = Simulator()
+        vgpu = VirtualGPU(sim, [FakeGPU(sim, g) for g in range(4)])
+        done = []
+        vgpu.launch(make_kernel(), on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+        assert vgpu.idle
+
+    def test_ctas_partitioned_in_chunks(self):
+        sim = Simulator()
+        gpus = [FakeGPU(sim, g) for g in range(4)]
+        vgpu = VirtualGPU(sim, gpus)
+        vgpu.launch(make_kernel(ctas=8))
+        sim.run()
+        assert gpus[0].launched[0][1] == [0, 1]
+        assert gpus[3].launched[0][1] == [6, 7]
+
+    def test_round_robin_policy(self):
+        sim = Simulator()
+        gpus = [FakeGPU(sim, g) for g in range(2)]
+        vgpu = VirtualGPU(sim, gpus, policy="round_robin")
+        vgpu.launch(make_kernel(ctas=6))
+        sim.run()
+        assert gpus[0].launched[0][1] == [0, 2, 4]
+
+    def test_completion_waits_for_slowest_gpu(self):
+        sim = Simulator()
+        gpus = [FakeGPU(sim, 0, delay_ps=100), FakeGPU(sim, 1, delay_ps=9000)]
+        vgpu = VirtualGPU(sim, gpus)
+        finished = []
+        vgpu.launch(make_kernel(ctas=2), on_done=lambda: finished.append(sim.now))
+        sim.run()
+        assert finished[0] == 9000
+
+    def test_needs_at_least_one_gpu(self):
+        with pytest.raises(SimulationError):
+            VirtualGPU(Simulator(), [])
+
+
+class TestCommandQueue:
+    def test_kernels_run_in_order(self):
+        sim = Simulator()
+        gpus = [FakeGPU(sim, 0)]
+        vgpu = VirtualGPU(sim, gpus)
+        vgpu.launch(make_kernel("a", 2))
+        vgpu.launch(make_kernel("b", 2))
+        sim.run()
+        assert [name for name, _ in gpus[0].launched] == ["a", "b"]
+        a, b = vgpu.launches
+        assert b.started_ps >= a.finished_ps
+
+    def test_launch_sequence_fires_after_last(self):
+        sim = Simulator()
+        vgpu = VirtualGPU(sim, [FakeGPU(sim, 0)])
+        done = []
+        vgpu.launch_sequence(
+            [make_kernel("a", 2), make_kernel("b", 2)],
+            on_done=lambda: done.append(sim.now),
+        )
+        sim.run()
+        assert len(done) == 1
+        assert done[0] == vgpu.launches[-1].finished_ps
+
+    def test_empty_sequence_completes(self):
+        sim = Simulator()
+        vgpu = VirtualGPU(sim, [FakeGPU(sim, 0)])
+        done = []
+        vgpu.launch_sequence([], on_done=lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+    def test_total_kernel_time_sums_launches(self):
+        sim = Simulator()
+        vgpu = VirtualGPU(sim, [FakeGPU(sim, 0, delay_ps=500)])
+        vgpu.launch(make_kernel("a", 1))
+        vgpu.launch(make_kernel("b", 1))
+        sim.run()
+        assert vgpu.total_kernel_ps() == 1000
+
+    def test_runtime_before_finish_raises(self):
+        sim = Simulator()
+        vgpu = VirtualGPU(sim, [FakeGPU(sim, 0)])
+        launch = vgpu.launch(make_kernel())
+        with pytest.raises(SimulationError):
+            _ = launch.runtime_ps

@@ -1,0 +1,130 @@
+"""Tests for the host CPU model."""
+
+import pytest
+
+from repro.config import CPUConfig
+from repro.cpu.host import HostAccess, HostCPU, HostPhase
+from repro.errors import SimulationError
+from repro.mem import AccessType
+from repro.sim.engine import Simulator
+
+
+class RecordingMemory:
+    def __init__(self, sim, delay_ps=100_000):
+        self.sim = sim
+        self.delay_ps = delay_ps
+        self.requests = []
+
+    def port(self, access, on_done):
+        self.requests.append(access)
+        self.sim.after(self.delay_ps, on_done)
+
+
+def make_cpu(max_outstanding=2):
+    sim = Simulator()
+    cpu = HostCPU(sim, CPUConfig(max_outstanding=max_outstanding))
+    mem = RecordingMemory(sim)
+    cpu.memory_port = mem.port
+    return sim, cpu, mem
+
+
+def reads(n, base=0, stride=64):
+    return tuple(
+        HostAccess(base + i * stride, 64, AccessType.READ) for i in range(n)
+    )
+
+
+class TestProgramExecution:
+    def test_phases_run_sequentially(self):
+        sim, cpu, mem = make_cpu()
+        done = []
+        cpu.run_program(
+            [HostPhase(1000, reads(1)), HostPhase(2000, reads(1, base=4096))],
+            lambda: done.append(sim.now),
+        )
+        sim.run()
+        assert len(done) == 1
+        assert cpu.stats.phases == 2
+        # Both phases' memory latencies plus both computes are on the path.
+        assert done[0] >= 2 * mem.delay_ps + 3000
+
+    def test_compute_only_phase(self):
+        sim, cpu, _ = make_cpu()
+        done = []
+        cpu.run_program([HostPhase(5000)], lambda: done.append(sim.now))
+        sim.run()
+        assert done == [5000]
+
+    def test_empty_program_completes(self):
+        sim, cpu, _ = make_cpu()
+        done = []
+        cpu.run_program([], lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+    def test_unwired_port_raises(self):
+        sim = Simulator()
+        cpu = HostCPU(sim)
+        with pytest.raises(SimulationError):
+            cpu.run_program([HostPhase(0)], lambda: None)
+
+    def test_finished_at_recorded(self):
+        sim, cpu, _ = make_cpu()
+        cpu.run_program([HostPhase(1234)], lambda: None)
+        sim.run()
+        assert cpu.stats.finished_at_ps == 1234
+
+
+class TestMemoryPath:
+    def test_l2_caches_repeated_lines(self):
+        sim, cpu, mem = make_cpu()
+        cpu.run_program(
+            [HostPhase(0, reads(1)), HostPhase(0, reads(1))], lambda: None
+        )
+        sim.run()
+        assert len(mem.requests) == 1  # second read hit the CPU L2
+
+    def test_writes_bypass_l2_allocation(self):
+        sim, cpu, mem = make_cpu()
+        w = (HostAccess(0, 64, AccessType.WRITE),)
+        cpu.run_program([HostPhase(0, w), HostPhase(0, w)], lambda: None)
+        sim.run()
+        assert len(mem.requests) == 2
+
+    def test_mlp_bounded(self):
+        sim, cpu, _ = make_cpu(max_outstanding=2)
+        peak = []
+
+        class Gate:
+            def __init__(self):
+                self.outstanding = 0
+
+            def port(self, access, on_done):
+                self.outstanding += 1
+                peak.append(self.outstanding)
+
+                def fin():
+                    self.outstanding -= 1
+                    on_done()
+
+                sim.after(10_000, fin)
+
+        cpu.memory_port = Gate().port
+        cpu.run_program([HostPhase(0, reads(16))], lambda: None)
+        sim.run()
+        assert max(peak) <= 2
+
+    def test_request_line_alignment(self):
+        sim, cpu, mem = make_cpu()
+        cpu.run_program(
+            [HostPhase(0, (HostAccess(100, 64, AccessType.READ),))], lambda: None
+        )
+        sim.run()
+        assert mem.requests[0].paddr == 64  # aligned down to the 64 B line
+
+    def test_stats_counts(self):
+        sim, cpu, mem = make_cpu()
+        cpu.run_program([HostPhase(0, reads(4))], lambda: None)
+        sim.run()
+        assert cpu.stats.accesses == 4
+        assert cpu.stats.memory_requests == 4

@@ -1,0 +1,58 @@
+"""Tests for ExperimentResult export (CSV/JSON/save)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+
+def sample_result():
+    r = ExperimentResult("Fig. X", "sample", paper_note="claim")
+    r.add(workload="BP", arch="UMN", kernel_us=1.5)
+    r.add(workload="BP", arch="PCIe", kernel_us=12.0)
+    r.note("observation")
+    return r
+
+
+class TestCSV:
+    def test_round_trips_through_csv_reader(self):
+        text = sample_result().to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["workload"] == "BP"
+        assert float(rows[1]["kernel_us"]) == 12.0
+
+    def test_header_is_column_union(self):
+        r = ExperimentResult("X", "t")
+        r.add(a=1)
+        r.add(b=2)
+        header = r.to_csv().splitlines()[0]
+        assert header == "a,b"
+
+
+class TestJSON:
+    def test_parses_and_carries_metadata(self):
+        data = json.loads(sample_result().to_json())
+        assert data["experiment"] == "Fig. X"
+        assert data["paper_note"] == "claim"
+        assert data["notes"] == ["observation"]
+        assert len(data["rows"]) == 2
+
+
+class TestSave:
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        sample_result().save(str(path))
+        assert "workload" in path.read_text()
+
+    def test_save_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        sample_result().save(str(path))
+        assert json.loads(path.read_text())["title"] == "sample"
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            sample_result().save(str(tmp_path / "out.xlsx"))

@@ -1,0 +1,108 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+from repro.gpu.cache import Cache
+
+
+def small_cache(sets=4, ways=2, line=128):
+    return Cache(CacheConfig(sets * ways * line, ways, line, 100), "test")
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.lookup(0)
+        c.fill(0)
+        assert c.lookup(0)
+
+    def test_same_line_different_offsets(self):
+        c = small_cache()
+        c.fill(0)
+        assert c.lookup(127)
+        assert not c.lookup(128)
+
+    def test_stats(self):
+        c = small_cache()
+        c.lookup(0)
+        c.fill(0)
+        c.lookup(0)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_contains_does_not_count(self):
+        c = small_cache()
+        c.fill(0)
+        c.contains(0)
+        assert c.stats.accesses == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, 128, 100)
+
+
+class TestLRU:
+    def test_eviction_is_lru(self):
+        c = small_cache(sets=1, ways=2)
+        c.fill(0 * 128)
+        c.fill(1 * 128)
+        c.lookup(0)  # touch 0, so 1 is LRU
+        evicted = c.fill(2 * 128)
+        assert evicted == 1 * 128
+        assert c.lookup(0)
+        assert not c.lookup(1 * 128)
+
+    def test_fill_existing_refreshes(self):
+        c = small_cache(sets=1, ways=2)
+        c.fill(0)
+        c.fill(128)
+        c.fill(0)  # refresh, no eviction
+        evicted = c.fill(2 * 128)
+        assert evicted == 128
+
+    def test_sets_are_independent(self):
+        c = small_cache(sets=4, ways=1)
+        for s in range(4):
+            c.fill(s * 128)
+        assert all(c.contains(s * 128) for s in range(4))
+
+
+class TestEvict:
+    def test_explicit_evict(self):
+        c = small_cache()
+        c.fill(0)
+        assert c.evict(0)
+        assert not c.contains(0)
+
+    def test_evict_missing_returns_false(self):
+        assert not small_cache().evict(0)
+
+    def test_flush(self):
+        c = small_cache()
+        c.fill(0)
+        c.fill(128)
+        c.flush()
+        assert c.occupancy == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(addrs):
+    c = small_cache(sets=4, ways=2)
+    for a in addrs:
+        c.fill(a)
+    assert c.occupancy <= 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+def test_fill_then_immediate_lookup_hits(addrs):
+    c = small_cache(sets=8, ways=4)
+    for a in addrs:
+        c.fill(a)
+        assert c.lookup(a, count=False)

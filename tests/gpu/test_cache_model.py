@@ -1,0 +1,93 @@
+"""Model-based property test: the cache against a reference LRU model."""
+
+import collections
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.gpu.cache import Cache
+
+SETS = 4
+WAYS = 2
+LINE = 128
+
+
+class ReferenceCache:
+    """Straightforward LRU reference implementation."""
+
+    def __init__(self):
+        self.sets = collections.defaultdict(collections.OrderedDict)
+
+    def _key(self, addr):
+        line = addr // LINE
+        return line % SETS, line // SETS
+
+    def lookup(self, addr):
+        s, tag = self._key(addr)
+        if tag in self.sets[s]:
+            self.sets[s].move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, addr):
+        s, tag = self._key(addr)
+        if tag in self.sets[s]:
+            self.sets[s].move_to_end(tag)
+            return
+        if len(self.sets[s]) >= WAYS:
+            self.sets[s].popitem(last=False)
+        self.sets[s][tag] = True
+
+    def evict(self, addr):
+        s, tag = self._key(addr)
+        self.sets[s].pop(tag, None)
+
+    def contains(self, addr):
+        s, tag = self._key(addr)
+        return tag in self.sets[s]
+
+
+class CacheModelMachine(RuleBasedStateMachine):
+    """Drive the real cache and the reference with the same operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.real = Cache(CacheConfig(SETS * WAYS * LINE, WAYS, LINE, 1))
+        self.ref = ReferenceCache()
+
+    addresses = st.integers(0, 40) .map(lambda i: i * LINE + (i % LINE))
+
+    @rule(addr=addresses)
+    def lookup(self, addr):
+        assert self.real.lookup(addr) == self.ref.lookup(addr)
+
+    @rule(addr=addresses)
+    def fill(self, addr):
+        self.real.fill(addr)
+        self.ref.fill(addr)
+
+    @rule(addr=addresses)
+    def evict(self, addr):
+        self.real.evict(addr)
+        self.ref.evict(addr)
+
+    @rule(addr=addresses)
+    def contains_agrees(self, addr):
+        assert self.real.contains(addr) == self.ref.contains(addr)
+
+    @invariant()
+    def occupancy_matches(self):
+        ref_occupancy = sum(len(s) for s in self.ref.sets.values())
+        assert self.real.occupancy == ref_occupancy
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.real.occupancy <= SETS * WAYS
+
+
+TestCacheAgainstModel = CacheModelMachine.TestCase
+TestCacheAgainstModel.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,151 @@
+"""Tests for concurrent kernel execution (the Section III extension)."""
+
+import pytest
+
+from repro.core.cta_scheduler import StaticChunkSchedule
+from repro.core.kernel import Access, Kernel, Phase
+from repro.core.virtual_gpu import VirtualGPU
+from repro.errors import SimulationError
+from repro.gpu.gpu import GPU
+from repro.mem import AccessType
+from repro.sim.engine import Simulator
+from tests.conftest import tiny_gpu_config
+
+
+class FastMemory:
+    def __init__(self, sim, delay_ps=10_000):
+        self.sim = sim
+        self.delay_ps = delay_ps
+
+    def port(self, access, on_done):
+        self.sim.after(self.delay_ps, on_done)
+
+
+def make_gpu(num_sms=2):
+    sim = Simulator()
+    gpu = GPU(sim, 0, tiny_gpu_config(num_sms))
+    gpu.memory_port = FastMemory(sim).port
+    return sim, gpu
+
+
+def compute_kernel(name, ctas, compute_ps):
+    return Kernel(name, (ctas,), lambda c: [Phase(compute_ps)])
+
+
+def write_kernel(name, ctas):
+    return Kernel(
+        name,
+        (ctas,),
+        lambda c: [Phase(100, (Access(c * 128, 128, AccessType.WRITE),))],
+    )
+
+
+class TestGPULevelConcurrency:
+    def test_two_kernels_overlap(self):
+        sim, gpu = make_gpu(num_sms=2)
+        done = {}
+        k1 = compute_kernel("a", 2, 1_000_000)
+        k2 = compute_kernel("b", 2, 1_000_000)
+        gpu.launch(k1, StaticChunkSchedule(2, 1), lambda: done.setdefault("a", sim.now))
+        gpu.launch(
+            k2, StaticChunkSchedule(2, 1), lambda: done.setdefault("b", sim.now),
+            concurrent=True,
+        )
+        assert gpu.active_kernels == 2
+        sim.run()
+        # Two SMs, four 1ms CTAs total: both finish around 2ms, far less
+        # than the 4ms a serial schedule would need... but more than 1 ms.
+        assert max(done.values()) < 3_000_000
+        assert len(done) == 2
+
+    def test_overlap_rejected_without_flag(self):
+        sim, gpu = make_gpu()
+        gpu.launch(compute_kernel("a", 1, 10), StaticChunkSchedule(1, 1), lambda: None)
+        with pytest.raises(SimulationError):
+            gpu.launch(compute_kernel("b", 1, 10), StaticChunkSchedule(1, 1), lambda: None)
+
+    def test_completion_tracked_per_kernel(self):
+        sim, gpu = make_gpu(num_sms=2)
+        done = {}
+        short = compute_kernel("short", 1, 1_000)
+        long = compute_kernel("long", 1, 5_000_000)
+        gpu.launch(long, StaticChunkSchedule(1, 1), lambda: done.setdefault("long", sim.now))
+        gpu.launch(
+            short, StaticChunkSchedule(1, 1),
+            lambda: done.setdefault("short", sim.now), concurrent=True,
+        )
+        sim.run()
+        assert done["short"] < done["long"]
+
+    def test_write_drain_is_per_kernel(self):
+        sim, gpu = make_gpu(num_sms=2)
+        done = {}
+        gpu.launch(
+            write_kernel("w", 1), StaticChunkSchedule(1, 1),
+            lambda: done.setdefault("w", sim.now),
+        )
+        gpu.launch(
+            compute_kernel("c", 1, 100), StaticChunkSchedule(1, 1),
+            lambda: done.setdefault("c", sim.now), concurrent=True,
+        )
+        sim.run()
+        # The compute kernel must not wait for the write kernel's drain.
+        assert done["c"] < done["w"]
+
+    def test_slot_contention_resolves(self):
+        """More concurrent CTAs than slots: everything still completes."""
+        sim, gpu = make_gpu(num_sms=1)  # 4 slots total
+        finished = []
+        for i in range(3):
+            gpu.launch(
+                compute_kernel(f"k{i}", 4, 10_000),
+                StaticChunkSchedule(4, 1),
+                lambda i=i: finished.append(i),
+                concurrent=True,
+            )
+        sim.run()
+        assert sorted(finished) == [0, 1, 2]
+        assert gpu.active_kernels == 0
+
+
+class TestVirtualGPUConcurrency:
+    def _vgpu(self, concurrent):
+        sim = Simulator()
+        gpu = GPU(sim, 0, tiny_gpu_config(2))
+        gpu.memory_port = FastMemory(sim).port
+        return sim, VirtualGPU(sim, [gpu], concurrent=concurrent)
+
+    def test_concurrent_faster_than_sequential_for_small_kernels(self):
+        # Two 1-CTA kernels on a 2-SM GPU: sequential runs them back to
+        # back on one SM; concurrent places them on different SMs (the
+        # whole point of concurrent kernel execution: filling a GPU that a
+        # single small kernel cannot).
+        def run(concurrent):
+            sim, vgpu = self._vgpu(concurrent)
+            done = []
+            for name in ("a", "b"):
+                vgpu.launch(
+                    compute_kernel(name, 1, 1_000_000),
+                    on_done=lambda: done.append(sim.now),
+                )
+            sim.run()
+            return max(done)
+
+        assert run(True) < run(False)
+
+    def test_sequential_mode_still_serializes(self):
+        sim, vgpu = self._vgpu(concurrent=False)
+        vgpu.launch(compute_kernel("a", 2, 1_000))
+        vgpu.launch(compute_kernel("b", 2, 1_000))
+        sim.run()
+        a, b = vgpu.launches
+        assert b.started_ps >= a.finished_ps
+
+    def test_concurrent_launches_start_together(self):
+        sim, vgpu = self._vgpu(concurrent=True)
+        vgpu.launch(compute_kernel("a", 2, 1_000))
+        vgpu.launch(compute_kernel("b", 2, 1_000))
+        a, b = vgpu.launches
+        assert a.started_ps == b.started_ps == 0
+        sim.run()
+        assert vgpu.idle

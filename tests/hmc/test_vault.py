@@ -1,0 +1,124 @@
+"""Tests for the vault controller: FR-FCFS, queue bounds, the data bus."""
+
+import pytest
+
+from repro.config import HMCConfig
+from repro.errors import SimulationError
+from repro.hmc.vault import Vault
+from repro.mem import AccessType, DecodedAddress, MemoryAccess
+from repro.sim.engine import Simulator
+
+
+def make_access(bank=0, row=0, kind=AccessType.READ, size=128):
+    return MemoryAccess(
+        paddr=0,
+        size=size,
+        type=kind,
+        decoded=DecodedAddress(cluster=0, local_hmc=0, vault=0, bank=bank, row=row),
+    )
+
+
+def run_vault(accesses):
+    """Enqueue all accesses at t=0; return (vault, completions in order)."""
+    sim = Simulator()
+    vault = Vault(sim, HMCConfig())
+    done = []
+    for a in accesses:
+        vault.enqueue(a, lambda acc: done.append((acc, sim.now)))
+    sim.run()
+    return vault, done
+
+
+class TestBasicService:
+    def test_single_read_completes(self):
+        vault, done = run_vault([make_access()])
+        assert len(done) == 1
+        assert done[0][1] > 0
+        assert vault.stats.served == 1
+
+    def test_undecoded_access_rejected(self):
+        sim = Simulator()
+        vault = Vault(sim, HMCConfig())
+        with pytest.raises(SimulationError):
+            vault.enqueue(MemoryAccess(paddr=0, size=64, type=AccessType.READ), print)
+
+    def test_all_requests_complete_under_load(self):
+        accesses = [make_access(bank=i % 16, row=i % 3) for i in range(100)]
+        vault, done = run_vault(accesses)
+        assert len(done) == 100
+        assert vault.occupancy == 0
+
+
+class TestFRFCFS:
+    def test_row_hit_preferred_over_older_conflict(self):
+        # Open row 1, then queue a conflict (row 2) before a hit (row 1).
+        opener = make_access(bank=0, row=1)
+        conflict = make_access(bank=0, row=2)
+        hit = make_access(bank=0, row=1)
+        vault, done = run_vault([opener, conflict, hit])
+        order = [acc.aid for acc, _ in done]
+        assert order.index(hit.aid) < order.index(conflict.aid)
+
+    def test_fcfs_among_equal_outcomes(self):
+        first = make_access(bank=0, row=1)
+        second = make_access(bank=1, row=1)
+        third = make_access(bank=2, row=1)
+        _, done = run_vault([first, second, third])
+        assert [acc.aid for acc, _ in done] == [first.aid, second.aid, third.aid]
+
+    def test_row_hit_rate_tracked(self):
+        accesses = [make_access(bank=0, row=0) for _ in range(10)]
+        vault, _ = run_vault(accesses)
+        assert vault.row_hit_rate == pytest.approx(0.9)  # all but the opener
+
+
+class TestBankParallelism:
+    def test_different_banks_overlap(self):
+        same_bank = [make_access(bank=0, row=r) for r in range(8)]
+        _, done_same = run_vault(same_bank)
+        finish_same = max(t for _, t in done_same)
+
+        spread = [make_access(bank=b, row=0) for b in range(8)]
+        _, done_spread = run_vault(spread)
+        finish_spread = max(t for _, t in done_spread)
+        assert finish_spread < finish_same
+
+    def test_data_bus_serializes_transfers(self):
+        # Two reads to different banks still share the vault data bus.
+        cfg = HMCConfig()
+        per_transfer = (128 // cfg.vault_bus_bytes_per_cycle) * cfg.timing.tCK_ps
+        _, done = run_vault([make_access(bank=0), make_access(bank=1)])
+        t0, t1 = sorted(t for _, t in done)
+        assert t1 - t0 >= per_transfer
+
+
+class TestQueueBounds:
+    def test_overflow_buffers_excess_requests(self):
+        sim = Simulator()
+        vault = Vault(sim, HMCConfig(vault_queue_entries=4))
+        done = []
+        for i in range(20):
+            vault.enqueue(make_access(bank=i % 4, row=i), lambda a: done.append(a))
+        assert vault.stats.overflow_peak > 0
+        sim.run()
+        assert len(done) == 20
+
+    def test_queue_wait_grows_with_contention(self):
+        light_vault, _ = run_vault([make_access(bank=0, row=r) for r in range(2)])
+        heavy_vault, _ = run_vault([make_access(bank=0, row=r) for r in range(20)])
+        light = light_vault.stats.total_queue_wait_ps / 2
+        heavy = heavy_vault.stats.total_queue_wait_ps / 20
+        assert heavy > light
+
+
+class TestAtomics:
+    def test_atomic_pays_alu_latency(self):
+        from repro.hmc.vault import ATOMIC_ALU_PS
+
+        _, done_read = run_vault([make_access(kind=AccessType.READ, size=32)])
+        _, done_atomic = run_vault([make_access(kind=AccessType.ATOMIC, size=32)])
+        assert done_atomic[0][1] - done_read[0][1] == ATOMIC_ALU_PS
+
+    def test_atomic_counted(self):
+        vault, _ = run_vault([make_access(kind=AccessType.ATOMIC, size=32)])
+        assert vault.stats.atomics == 1

@@ -1,0 +1,187 @@
+"""End-to-end integration tests: whole-system runs on small configurations.
+
+These assert the qualitative *shape* of the paper's headline results on
+scaled-down systems (see DESIGN.md section 4), plus conservation and
+determinism invariants of the simulator.
+"""
+
+import pytest
+
+from repro.system.configs import TABLE_III
+from repro.system.run import run_workload
+from repro.workloads import get_workload, make_vectoradd
+from tests.conftest import tiny_system_config
+
+
+def tiny_run(arch, workload_name="KMN", scale=0.1, **kw):
+    cfg = kw.pop("cfg", tiny_system_config())
+    return run_workload(
+        TABLE_III[arch], get_workload(workload_name, scale), cfg=cfg, **kw
+    )
+
+
+class TestAllArchitecturesRun:
+    @pytest.mark.parametrize("arch", list(TABLE_III))
+    def test_runs_to_completion(self, arch):
+        result = tiny_run(arch)
+        assert result.kernel_ps > 0
+        assert result.total_ps >= result.kernel_ps
+
+    @pytest.mark.parametrize("arch", ["PCIe", "CMN", "GMN", "UMN"])
+    def test_host_workload_runs(self, arch):
+        result = tiny_run(arch, "CG.S", scale=0.5)
+        assert result.host_ps > 0
+
+    def test_memcpy_accounted_only_for_memcpy_mode(self):
+        assert tiny_run("PCIe").memcpy_ps > 0
+        assert tiny_run("PCIe-ZC").memcpy_ps == 0
+        assert tiny_run("UMN").memcpy_ps == 0
+
+
+class TestPaperShape:
+    """The Fig. 14 ordering on a miniature system."""
+
+    def test_umn_beats_pcie_substantially(self):
+        umn = tiny_run("UMN", "BP", 0.2)
+        pcie = tiny_run("PCIe", "BP", 0.2)
+        assert umn.speedup_over(pcie) > 3
+
+    def test_gmn_kernel_beats_pcie_kernel(self):
+        gmn = tiny_run("GMN", "BP", 0.2)
+        pcie = tiny_run("PCIe", "BP", 0.2)
+        assert gmn.kernel_ps < pcie.kernel_ps
+
+    def test_gmn_zc_equals_pcie_zc(self):
+        """Section VI-B: with zero-copy the GPU memory network is never
+        used, so GMN-ZC == PCIe-ZC."""
+        a = tiny_run("GMN-ZC", "KMN", 0.2)
+        b = tiny_run("PCIe-ZC", "KMN", 0.2)
+        assert a.kernel_ps == b.kernel_ps
+
+    def test_cmn_memcpy_faster_than_pcie_memcpy(self):
+        cmn = tiny_run("CMN", "BP", 0.2)
+        pcie = tiny_run("PCIe", "BP", 0.2)
+        assert cmn.memcpy_ps < pcie.memcpy_ps
+
+    def test_umn_is_fastest_overall(self):
+        results = {arch: tiny_run(arch, "KMN", 0.2) for arch in TABLE_III}
+        best = min(results.values(), key=lambda r: r.runtime_ps)
+        assert best.arch == "UMN"
+
+
+class TestRemoteAccessShape:
+    """The Fig. 7 contrast on a miniature system."""
+
+    def test_pcie_degrades_with_remote_data(self):
+        wl = make_vectoradd(num_ctas=24, lines_per_cta=4)
+        cfg = tiny_system_config()
+        local = run_workload(
+            TABLE_III["PCIe"], wl, cfg=cfg, placement_policy="local",
+            placement_clusters=[0], num_active_gpus=1,
+        )
+        spread = run_workload(
+            TABLE_III["PCIe"], wl, cfg=cfg, placement_policy="weighted",
+            placement_clusters=[0, 1, 2, 3], placement_weights=[0.25] * 4,
+            num_active_gpus=1,
+        )
+        assert spread.kernel_ps > 2 * local.kernel_ps
+
+    def test_gmn_does_not_degrade_with_remote_data(self):
+        wl = make_vectoradd(num_ctas=24, lines_per_cta=4)
+        cfg = tiny_system_config()
+        local = run_workload(
+            TABLE_III["GMN"], wl, cfg=cfg, placement_policy="local",
+            placement_clusters=[0], num_active_gpus=1,
+        )
+        spread = run_workload(
+            TABLE_III["GMN"], wl, cfg=cfg, placement_policy="weighted",
+            placement_clusters=[0, 1, 2, 3], placement_weights=[0.25] * 4,
+            num_active_gpus=1,
+        )
+        assert spread.kernel_ps < 1.5 * local.kernel_ps
+
+
+class TestConservation:
+    def test_no_lost_network_packets(self):
+        result = tiny_run("UMN", "BFS", 0.3)
+        # Every injected packet was delivered (requests and responses).
+        assert result.net_delivered > 0
+
+    def test_memory_requests_all_answered(self):
+        # If any request were lost, the run would deadlock and
+        # run_workload would raise; reaching here with sane stats is the
+        # assertion.
+        result = tiny_run("GMN", "SP", 0.3)
+        assert result.memory_requests > 0
+        assert result.kernel_ps > 0
+
+    def test_kernel_breakdown_sums_to_total(self):
+        result = tiny_run("UMN", "FWT", 0.2)
+        assert sum(result.kernel_breakdown_ps) == result.kernel_ps
+        assert len(result.kernel_breakdown_ps) == 3  # FWT has 3 kernels
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = tiny_run("UMN", "BFS", 0.2, seed=11)
+        b = tiny_run("UMN", "BFS", 0.2, seed=11)
+        assert a.kernel_ps == b.kernel_ps
+        assert a.events_executed == b.events_executed
+
+    def test_different_seed_different_placement(self):
+        a = tiny_run("UMN", "BFS", 0.2, seed=1)
+        b = tiny_run("UMN", "BFS", 0.2, seed=2)
+        assert a.kernel_ps != b.kernel_ps
+
+
+class TestSchedulerPolicies:
+    @pytest.mark.parametrize("policy", ["static", "round_robin", "stealing"])
+    def test_all_policies_complete(self, policy):
+        result = run_workload(
+            TABLE_III["UMN"].with_(cta_policy=policy),
+            get_workload("SRAD", 0.2),
+            cfg=tiny_system_config(),
+        )
+        assert result.kernel_ps > 0
+
+    def test_stealing_close_to_static(self):
+        static = run_workload(
+            TABLE_III["UMN"], get_workload("KMN", 0.3), cfg=tiny_system_config()
+        )
+        stealing = run_workload(
+            TABLE_III["UMN"].with_(cta_policy="stealing"),
+            get_workload("KMN", 0.3),
+            cfg=tiny_system_config(),
+        )
+        assert stealing.kernel_ps == pytest.approx(static.kernel_ps, rel=0.05)
+
+
+class TestActiveGpuSubset:
+    def test_single_active_gpu(self):
+        result = tiny_run("GMN", "KMN", 0.2, num_active_gpus=1)
+        assert result.kernel_ps > 0
+
+    def test_invalid_subset_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            tiny_run("GMN", "KMN", 0.1, num_active_gpus=9)
+
+
+class TestTrafficCollection:
+    def test_traffic_matrix_shape(self):
+        result = tiny_run("GMN", "KMN", 0.2, collect_traffic=True)
+        assert len(result.traffic_matrix) == 4  # one row per GPU
+        assert len(result.traffic_matrix[0]) == 16  # one column per HMC
+        assert sum(map(sum, result.traffic_matrix)) > 0
+
+    def test_intra_cluster_traffic_balanced(self):
+        """Section V-A: cache-line interleaving flattens intra-cluster
+        variance; each GPU spreads its traffic over its 4 local HMCs."""
+        result = tiny_run("GMN", "KMN", 0.5, collect_traffic=True)
+        matrix = result.traffic_matrix
+        totals = [sum(row[r] for row in matrix) for r in range(16)]
+        for c in range(4):
+            cluster = totals[c * 4 : (c + 1) * 4]
+            if min(cluster) > 0:
+                assert max(cluster) / min(cluster) < 2.0

@@ -1,0 +1,238 @@
+"""Tests for the topology builders: geometry and paper-reported properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.network.topologies import (
+    build_cmn,
+    build_ddfly,
+    build_dfbfly,
+    build_fbfly,
+    build_overlay,
+    build_ring,
+    build_sfbfly,
+    build_smesh,
+    build_smesh_2x,
+    build_storus,
+    build_storus_2x,
+    build_topology,
+    grid_shape,
+)
+
+
+class TestGridShape:
+    def test_square(self):
+        assert grid_shape(16) == (4, 4)
+
+    def test_rectangular(self):
+        assert grid_shape(8) == (2, 4)
+
+    def test_prime_becomes_line(self):
+        assert grid_shape(5) == (1, 5)
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            grid_shape(0)
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_shape_factors_n(self, n):
+        r, c = grid_shape(n)
+        assert r * c == n
+        assert r <= c
+
+
+class TestSFBFLY:
+    def test_4gpu_slice_is_fully_connected(self):
+        topo = build_sfbfly(num_gpus=4)
+        # Slice 0 members: the 0th HMC of each cluster.
+        members = [0, 4, 8, 12]
+        for a in members:
+            for b in members:
+                if a != b:
+                    assert topo.has_link(a, b)
+
+    def test_no_intra_cluster_channels(self):
+        topo = build_sfbfly(num_gpus=4)
+        for c in range(4):
+            members = list(range(c * 4, c * 4 + 4))
+            for a in members:
+                for b in members:
+                    assert not topo.has_link(a, b) or a == b
+
+    def test_gpu_to_any_hmc_is_at_most_one_network_hop(self):
+        topo = build_sfbfly(num_gpus=4)
+        for g in range(4):
+            for r in range(topo.num_routers):
+                assert topo.terminal_distance(f"gpu{g}", r) <= 1
+
+    def test_channel_counts_match_fig12(self):
+        # Fig. 12: sFBFLY saves 50% at 4 GPUs and 43% at 8 GPUs vs dFBFLY.
+        for gpus, saving in [(4, 0.50), (8, 0.43)]:
+            d = build_dfbfly(num_gpus=gpus).count_network_links()
+            s = build_sfbfly(num_gpus=gpus).count_network_links()
+            assert (d - s) / d == pytest.approx(saving, abs=0.01)
+
+    def test_4gpu_counts_are_48_and_24(self):
+        assert build_dfbfly(num_gpus=4).count_network_links() == 48
+        assert build_sfbfly(num_gpus=4).count_network_links() == 24
+
+    def test_16gpu_slices_are_4x4_fbfly(self):
+        topo = build_sfbfly(num_gpus=16)
+        # A 4x4 FBFLY slice has 4*C(4,2)*2 = 48 links; 4 slices -> 192.
+        assert topo.count_network_links() == 192
+
+    def test_gpu_distribution_width(self):
+        topo = build_sfbfly(num_gpus=4, gpu_channels=8)
+        atts = topo.attachments("gpu0")
+        assert len(atts) == 4
+        assert all(att.inject.width == 2 for att in atts)
+
+
+class TestDFBFLY:
+    def test_contains_intra_cluster_cliques(self):
+        topo = build_dfbfly(num_gpus=4)
+        for c in range(4):
+            members = list(range(c * 4, c * 4 + 4))
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    assert topo.has_link(a, b)
+
+    def test_minimal_gpu_to_hmc_distance_matches_sfbfly(self):
+        # Section V-B: minimal routing between any GPU and HMC is identical.
+        dfb = build_dfbfly(num_gpus=4)
+        sfb = build_sfbfly(num_gpus=4)
+        for g in range(4):
+            for r in range(16):
+                assert dfb.terminal_distance(f"gpu{g}", r) == sfb.terminal_distance(
+                    f"gpu{g}", r
+                )
+
+
+class TestDDFLY:
+    def test_one_global_link_per_cluster_pair(self):
+        topo = build_ddfly(num_gpus=4)
+        # links = 4 intra cliques (6 each) + C(4,2) global = 24 + 6.
+        assert topo.count_network_links() == 30
+
+    def test_all_hmcs_reachable(self):
+        topo = build_ddfly(num_gpus=4)
+        for a in range(16):
+            for b in range(16):
+                assert topo.reachable(a, b)
+
+    def test_fewer_inter_cluster_links_than_sfbfly(self):
+        # The dragonfly's single global channel per cluster pair is the
+        # bandwidth limitation Section V-B calls out.
+        ddfly = build_ddfly(num_gpus=4)
+        inter_ddfly = sum(
+            1
+            for ch in ddfly.channels
+            if ddfly.cluster_of[ch.src] != ddfly.cluster_of[ch.dst]
+        )
+        sfb = build_sfbfly(num_gpus=4)
+        inter_sfb = len(sfb.channels)
+        assert inter_ddfly < inter_sfb
+
+
+class TestSlicedMeshTorus:
+    def test_smesh_4gpu_slice_is_line(self):
+        topo = build_smesh(num_gpus=4)
+        # line: 3 links per slice, 4 slices.
+        assert topo.count_network_links() == 12
+
+    def test_storus_4gpu_slice_is_ring(self):
+        topo = build_storus(num_gpus=4)
+        assert topo.count_network_links() == 16
+
+    def test_2x_variants_double_width_not_count(self):
+        mesh = build_smesh(num_gpus=4)
+        mesh2x = build_smesh_2x(num_gpus=4)
+        assert mesh.count_network_links() == mesh2x.count_network_links()
+        assert all(ch.width == 2 for ch in mesh2x.channels)
+
+    def test_torus_bisection_matches_sfbfly_at_2x(self):
+        # Section VI-B2: sTORUS-2x has the same bisection bandwidth as
+        # sFBFLY for the 4-GPU system (cut each slice in half: ring-2x cuts
+        # 2 links of width 2 = clique cuts 4 of width 1).
+        torus2x = build_storus_2x(num_gpus=4)
+        sfb = build_sfbfly(num_gpus=4)
+
+        def slice0_cut_width(topo):
+            left = {0, 4}  # clusters 0,1 of slice 0
+            right = {8, 12}
+            return sum(
+                ch.width
+                for ch in topo.channels
+                if ch.src in left and ch.dst in right
+            )
+
+        assert slice0_cut_width(torus2x) == slice0_cut_width(sfb)
+
+
+class TestOverlay:
+    def test_chains_cover_every_gpu_hmc(self):
+        topo = build_overlay(num_gpus=3, include_cpu=True)
+        chains = topo.passthrough_chains["cpu"]
+        covered = {r for chain in chains.values() for r in chain.routers}
+        assert covered == set(range(topo.num_routers))
+
+    def test_chain_heads_are_cpu_hmcs(self):
+        topo = build_overlay(num_gpus=3, include_cpu=True)
+        cpu_cluster = 3
+        for s, chain in topo.passthrough_chains["cpu"].items():
+            assert chain.routers[0] == cpu_cluster * 4 + s
+
+    def test_overlay_requires_cpu(self):
+        with pytest.raises(TopologyError):
+            build_overlay(num_gpus=4, include_cpu=False)
+
+    def test_overlay_smesh_variant(self):
+        topo = build_topology("overlay-smesh", num_gpus=3, include_cpu=True)
+        assert topo.passthrough_chains
+        assert topo.name == "overlay-smesh"
+
+
+class TestOtherBuilders:
+    def test_ring_is_connected(self):
+        topo = build_ring(num_gpus=4)
+        assert topo.count_network_links() == 16
+        assert all(topo.reachable(0, r) for r in range(16))
+
+    def test_fbfly_single_attachment_per_gpu(self):
+        topo = build_fbfly(num_gpus=4, gpu_channels=8)
+        atts = topo.attachments("gpu0")
+        assert len(atts) == 1
+        assert atts[0].inject.width == 8
+
+    def test_cmn_gpus_attach_to_cpu_hmcs(self):
+        topo = build_cmn(num_gpus=4)
+        assert topo.num_routers == 4
+        for g in range(4):
+            assert len(topo.attachments(f"gpu{g}")) == 2
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(TopologyError):
+            build_topology("hypercube", num_gpus=4)
+
+    def test_include_cpu_adds_a_cluster(self):
+        without = build_sfbfly(num_gpus=4, include_cpu=False)
+        with_cpu = build_sfbfly(num_gpus=4, include_cpu=True)
+        assert with_cpu.num_routers == without.num_routers + 4
+        assert "cpu" in with_cpu.terminals
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    gpus=st.integers(min_value=1, max_value=8),
+    name=st.sampled_from(["sfbfly", "smesh", "storus", "dfbfly", "ddfly", "ring"]),
+)
+def test_every_gpu_reaches_every_hmc(gpus, name):
+    """Property: in any GPU-network topology, every GPU can reach every HMC
+    through the network (possibly via its own attachment router)."""
+    topo = build_topology(name, num_gpus=gpus)
+    for g in range(gpus):
+        for r in range(topo.num_routers):
+            dist = topo.terminal_distance(f"gpu{g}", r)
+            assert dist < (1 << 29), f"gpu{g} cannot reach router {r} in {name}"

@@ -1,0 +1,61 @@
+"""Tests for packet kinds and wire-size helpers."""
+
+import pytest
+
+from repro.network.packet import (
+    MessageClass,
+    Packet,
+    PacketKind,
+    request_size_bytes,
+    response_kind,
+    response_size_bytes,
+)
+
+
+class TestKinds:
+    def test_requests_are_requests(self):
+        for kind in (PacketKind.READ_REQ, PacketKind.WRITE_REQ, PacketKind.ATOMIC_REQ):
+            assert kind.is_request
+            assert kind.message_class is MessageClass.REQUEST
+
+    def test_responses_are_responses(self):
+        for kind in (PacketKind.READ_RESP, PacketKind.WRITE_ACK, PacketKind.ATOMIC_RESP):
+            assert not kind.is_request
+            assert kind.message_class is MessageClass.RESPONSE
+
+    def test_response_kind_mapping(self):
+        assert response_kind(PacketKind.READ_REQ) is PacketKind.READ_RESP
+        assert response_kind(PacketKind.WRITE_REQ) is PacketKind.WRITE_ACK
+        assert response_kind(PacketKind.ATOMIC_REQ) is PacketKind.ATOMIC_RESP
+
+    def test_response_kind_rejects_responses(self):
+        with pytest.raises(ValueError):
+            response_kind(PacketKind.READ_RESP)
+
+
+class TestSizes:
+    def test_read_request_is_header_only(self):
+        assert request_size_bytes(PacketKind.READ_REQ, 128) == 16
+
+    def test_write_request_carries_data(self):
+        assert request_size_bytes(PacketKind.WRITE_REQ, 128) == 16 + 128
+
+    def test_read_response_carries_data(self):
+        assert response_size_bytes(PacketKind.READ_RESP, 128) == 16 + 128
+
+    def test_write_ack_is_header_only(self):
+        assert response_size_bytes(PacketKind.WRITE_ACK, 128) == 16
+
+    def test_custom_header(self):
+        assert request_size_bytes(PacketKind.READ_REQ, 0, header_bytes=24) == 24
+
+
+class TestPacket:
+    def test_unique_ids(self):
+        a = Packet(PacketKind.READ_REQ, "gpu0", 1, 16)
+        b = Packet(PacketKind.READ_REQ, "gpu0", 1, 16)
+        assert a.pid != b.pid
+
+    def test_message_class_follows_kind(self):
+        p = Packet(PacketKind.WRITE_ACK, 0, "gpu0", 16)
+        assert p.message_class is MessageClass.RESPONSE

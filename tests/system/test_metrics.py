@@ -1,0 +1,58 @@
+"""Tests for RunResult metrics and the geometric mean helper."""
+
+import pytest
+
+from repro.system.energy import EnergyBreakdown
+from repro.system.metrics import RunResult, geometric_mean
+
+
+class TestRunResult:
+    def test_memcpy_sums_both_directions(self):
+        r = RunResult("w", "a", h2d_ps=100, d2h_ps=50)
+        assert r.memcpy_ps == 150
+
+    def test_runtime_includes_host(self):
+        r = RunResult("w", "a", kernel_ps=100, h2d_ps=10, d2h_ps=10, host_ps=5)
+        assert r.runtime_ps == 125
+
+    def test_speedup_over(self):
+        fast = RunResult("w", "fast", kernel_ps=100)
+        slow = RunResult("w", "slow", kernel_ps=400)
+        assert fast.speedup_over(slow) == 4.0
+
+    def test_speedup_zero_runtime_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            RunResult("w", "a").speedup_over(RunResult("w", "b", kernel_ps=1))
+
+    def test_as_row_fields(self):
+        r = RunResult("KMN", "UMN", kernel_ps=2_000_000)
+        row = r.as_row()
+        assert row["workload"] == "KMN"
+        assert row["arch"] == "UMN"
+        assert row["kernel_us"] == 2.0
+        assert row["energy_uj"] == 0.0
+
+    def test_as_row_with_energy(self):
+        r = RunResult("w", "a", energy=EnergyBreakdown(1e6, 1e6))
+        assert r.as_row()["energy_uj"] == pytest.approx(2.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_invariant_under_order(self):
+        a = geometric_mean([2.0, 8.0, 0.5])
+        b = geometric_mean([0.5, 2.0, 8.0])
+        assert a == pytest.approx(b)

@@ -1,0 +1,64 @@
+"""Package-level tests: error hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AddressError,
+    ConfigError,
+    ReproError,
+    RoutingError,
+    SchedulerError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            ConfigError, TopologyError, RoutingError, SimulationError,
+            AddressError, SchedulerError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_routing_error_is_topology_error(self):
+        assert issubclass(RoutingError, TopologyError)
+
+    def test_topology_error_carries_topology_name(self):
+        err = TopologyError("broken", topology="sfbfly")
+        assert err.topology == "sfbfly"
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise AddressError("bad address")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        """The README quickstart names must exist and work together."""
+        result = repro.run_workload(
+            repro.get_spec("UMN"), repro.get_workload("KMN", scale=0.05)
+        )
+        assert result.kernel_ps > 0
+        assert isinstance(result.as_row(), dict)
+
+    def test_table_iii_is_exported(self):
+        assert len(repro.TABLE_III) == 7
+
+    def test_subpackage_alls_resolve(self):
+        import repro.core as core
+        import repro.network as network
+        import repro.system as system
+        import repro.workloads as workloads
+
+        for module in (core, network, system, workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,196 @@
+"""Tests for the Table II workload suite and pattern generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem import AccessType
+from repro.workloads import (
+    SCALABILITY_WORKLOADS,
+    WORKLOAD_NAMES,
+    WORKLOAD_SPECS,
+    HostStep,
+    KernelStep,
+    Region,
+    Workload,
+    all_workloads,
+    get_workload,
+    make_vectoradd,
+    make_workload,
+)
+
+
+class TestTableII:
+    def test_fourteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 14
+        assert set(WORKLOAD_NAMES) == {
+            "BP", "BFS", "SRAD", "KMN", "BH", "SP", "SCAN",
+            "3DFD", "FWT", "CG.S", "FT.S", "RAY", "STO", "CP",
+        }
+
+    def test_scalability_subset_matches_paper(self):
+        assert set(SCALABILITY_WORKLOADS) == {
+            "3DFD", "BP", "CP", "FWT", "RAY", "SCAN", "SRAD"
+        }
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            get_workload("MATMUL")
+
+    def test_all_workloads_build(self):
+        suite = all_workloads(scale=0.1)
+        assert len(suite) == 14
+        for wl in suite.values():
+            assert wl.num_ctas >= 1
+
+    def test_host_participation(self):
+        assert get_workload("CG.S", 0.5).has_host_work
+        assert get_workload("FT.S", 0.5).has_host_work
+        assert not get_workload("BP", 0.5).has_host_work
+
+    def test_cg_s_has_too_few_ctas_for_four_gpus(self):
+        """Section V-A: the load-imbalance workload."""
+        cg = get_workload("CG.S", 1.0)
+        kernel = cg.kernels[0]
+        assert kernel.num_ctas < 4 * 64  # fewer CTAs than SMs in the system
+
+    def test_scale_changes_size(self):
+        small = get_workload("BP", 0.25)
+        big = get_workload("BP", 1.0)
+        assert big.num_ctas > small.num_ctas
+        assert big.h2d_bytes > small.h2d_bytes
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            get_workload("BP", 0)
+
+
+class TestProgramShape:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_programs_are_line_sized_and_deterministic(self, name):
+        wl = get_workload(name, 0.2)
+        kernel = wl.kernels[0]
+        p1 = kernel.program(0)
+        p2 = kernel.program(0)
+        assert [a for ph in p1 for a in ph.accesses] == [
+            a for ph in p2 for a in ph.accesses
+        ]
+        for phase in p1:
+            for access in phase.accesses:
+                assert access.size <= 128
+                assert access.vaddr >= 0
+
+    def test_multi_kernel_streams_use_distinct_data(self):
+        wl = get_workload("FWT", 0.2)
+        k0_addrs = {
+            a.vaddr
+            for ph in wl.kernels[0].program(0)
+            for a in ph.accesses
+            if a.type is AccessType.READ
+        }
+        k1_addrs = {
+            a.vaddr
+            for ph in wl.kernels[1].program(0)
+            for a in ph.accesses
+            if a.type is AccessType.READ
+        }
+        assert not (k0_addrs & k1_addrs)
+
+    def test_stencil_neighbours_share_lines(self):
+        wl = get_workload("SRAD", 0.2)
+        kernel = wl.kernels[0]
+
+        def read_addrs(cta):
+            return {
+                a.vaddr
+                for ph in kernel.program(cta)
+                for a in ph.accesses
+                if a.type is AccessType.READ
+            }
+
+        assert read_addrs(3) & read_addrs(4)
+
+    def test_random_workloads_carry_atomics(self):
+        wl = get_workload("BFS", 1.0)
+        kinds = {
+            a.type
+            for cta in range(8)
+            for ph in wl.kernels[0].program(cta)
+            for a in ph.accesses
+        }
+        assert AccessType.ATOMIC in kinds
+
+    def test_shared_stream_rereads_table(self):
+        wl = get_workload("KMN", 0.2)
+        k = wl.kernels[0]
+        shared_0 = {
+            a.vaddr for ph in k.program(0) for a in ph.accesses
+            if a.type is AccessType.READ
+        }
+        shared_9 = {
+            a.vaddr for ph in k.program(9) for a in ph.accesses
+            if a.type is AccessType.READ
+        }
+        assert shared_0 & shared_9  # the common centroid table
+
+
+class TestVectorAdd:
+    def test_structure(self):
+        wl = make_vectoradd(num_ctas=8, lines_per_cta=2, phases_per_cta=1)
+        assert wl.num_ctas == 8
+        kernel = wl.kernels[0]
+        phases = kernel.program(0)
+        reads = [a for p in phases for a in p.accesses if a.type is AccessType.READ]
+        writes = [a for p in phases for a in p.accesses if a.type is AccessType.WRITE]
+        assert len(reads) == 4  # two inputs x two lines
+        assert len(writes) == 2
+
+    def test_disjoint_cta_chunks(self):
+        wl = make_vectoradd(num_ctas=4, lines_per_cta=2)
+        k = wl.kernels[0]
+
+        def addrs(cta):
+            return {a.vaddr for ph in k.program(cta) for a in ph.accesses}
+
+        assert not (addrs(0) & addrs(1))
+
+    def test_memcpy_volumes(self):
+        wl = make_vectoradd(num_ctas=4, lines_per_cta=2, phases_per_cta=1)
+        assert wl.h2d_bytes == 2 * 4 * 2 * 128
+        assert wl.d2h_bytes == 4 * 2 * 128
+
+
+class TestWorkloadValidation:
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload(name="x", steps=[])
+
+    def test_negative_volume_rejected(self):
+        wl = get_workload("BP", 0.1)
+        with pytest.raises(ConfigError):
+            Workload(name="x", steps=wl.steps, h2d_bytes=-1)
+
+    def test_region_validation(self):
+        with pytest.raises(ConfigError):
+            Region(base=100, lines=4)  # unaligned
+        with pytest.raises(ConfigError):
+            Region(base=0, lines=0)
+
+    def test_region_wraps_modulo(self):
+        r = Region(base=0, lines=4)
+        assert r.line_addr(5) == r.line_addr(1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    name=st.sampled_from(WORKLOAD_NAMES),
+    scale=st.floats(min_value=0.05, max_value=2.0),
+)
+def test_any_scale_builds_valid_workload(name, scale):
+    wl = get_workload(name, scale)
+    assert wl.num_ctas >= 1
+    assert wl.h2d_bytes >= 0
+    kernel = wl.kernels[0]
+    phases = kernel.program(kernel.num_ctas - 1)
+    assert len(phases) >= 1
