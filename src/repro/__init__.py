@@ -27,11 +27,22 @@ from .config import DEFAULT_CONFIG, SystemConfig
 from .errors import (
     AddressError,
     ConfigError,
+    MetricError,
     ReproError,
     RoutingError,
     SchedulerError,
     SimulationError,
     TopologyError,
+)
+from .obs import (
+    ChromeTracer,
+    Counter,
+    EventLoopProfiler,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Observability,
+    Sampler,
 )
 from .system import (
     TABLE_III,
@@ -55,8 +66,17 @@ __all__ = [
     "DEFAULT_CONFIG",
     "SystemConfig",
     "AddressError",
+    "ChromeTracer",
     "ConfigError",
+    "Counter",
+    "EventLoopProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricRegistry",
+    "Observability",
     "ReproError",
+    "Sampler",
     "RoutingError",
     "SchedulerError",
     "SimulationError",

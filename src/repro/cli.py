@@ -6,39 +6,139 @@ Examples::
     repro fig14                # reproduce the Fig. 14 sweep and print it
     repro fig14 --scale 0.1    # quicker, smaller inputs
     repro run KMN --arch UMN   # run one workload on one architecture
+    repro run VEC --arch UMN --trace t.json --timeseries --profile
     repro all                  # run every experiment (slow)
+
+Observability flags (``run`` and every experiment subcommand):
+
+- ``--trace OUT.json`` — record a Chrome trace-event timeline (kernels,
+  CTAs, memcpies, packets, vault service); open it in Perfetto.
+- ``--timeseries [US]`` — sample congestion gauges every US simulated
+  microseconds (default 5); ``run`` surfaces them in ``--report``.
+- ``--profile`` — wall-clock profile of the event loop, printed at exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
 from .experiments import EXPERIMENTS
+from .obs import Observability, default_observability
 from .system.configs import TABLE_III, get_spec
-from .system.run import run_workload
+from .system.report import system_report
+from .system.run import run_workload_detailed
 from .workloads.suite import WORKLOAD_NAMES, get_workload
 
 #: Experiments whose runner takes a ``scale`` parameter.
 _SCALED = {"fig10", "fig14", "fig16", "fig17", "fig18", "sec3b", "ext-mapping"}
 
 
+def _make_obs(args) -> Optional[Observability]:
+    """Build the observability bundle an argv namespace asks for."""
+    trace = getattr(args, "trace", None)
+    timeseries = getattr(args, "timeseries", None)
+    profile = getattr(args, "profile", False)
+    if not trace and timeseries is None and not profile:
+        return None
+    return Observability(
+        trace=bool(trace), sample_interval_us=timeseries, profile=profile
+    )
+
+
+def _finish_obs(obs: Optional[Observability], args) -> None:
+    """Flush trace/profile sinks after the command ran."""
+    if obs is None:
+        return
+    trace_path = getattr(args, "trace", None)
+    obs.finish(trace_path=trace_path)
+    if trace_path:
+        print(f"[trace: {obs.tracer.num_events} events -> {trace_path}]")
+    if obs.profiler is not None:
+        print(obs.profiler.render())
+
+
+def _positive_us(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"interval must be a positive number of microseconds, got {text}"
+        )
+    return value
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write a Chrome trace-event timeline (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--timeseries",
+        nargs="?",
+        const=0.25,
+        type=_positive_us,
+        default=None,
+        metavar="US",
+        help="sample congestion gauges every US simulated microseconds "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall-clock profile of the event loop",
+    )
+
+
 def _run_experiment(
-    name: str, scale: Optional[float], save: Optional[str] = None
+    name: str,
+    scale: Optional[float],
+    save: Optional[str] = None,
+    obs: Optional[Observability] = None,
 ) -> None:
     runner = EXPERIMENTS[name]
     kwargs = {}
-    if scale is not None and name in _SCALED:
-        kwargs["scale"] = scale
+    if scale is not None:
+        if name in _SCALED:
+            kwargs["scale"] = scale
+        else:
+            print(
+                f"warning: {name} does not take --scale; ignoring --scale={scale}",
+                file=sys.stderr,
+            )
     start = time.time()
-    result = runner(**kwargs)
+    if obs is not None:
+        with default_observability(obs):
+            result = runner(**kwargs)
+    else:
+        result = runner(**kwargs)
     print(result.render())
     print(f"[{name} completed in {time.time() - start:.1f}s]")
     if save:
         result.save(save)
         print(f"[saved to {save}]")
+
+
+def _run_one(args) -> int:
+    """The ``repro run`` subcommand: one workload on one architecture."""
+    obs = _make_obs(args)
+    result, system = run_workload_detailed(
+        get_spec(args.arch),
+        get_workload(args.workload, args.scale),
+        obs=obs,
+    )
+    for key, value in result.as_row().items():
+        print(f"{key:20s} {value}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(system_report(system), handle, indent=2)
+        print(f"[report -> {args.report}]")
+    _finish_obs(obs, args)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -59,14 +159,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument(
             "--save", default=None, help="export the rows (.csv or .json)"
         )
+        _add_obs_flags(p)
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--scale", type=float, default=None)
+    _add_obs_flags(p_all)
 
     p_run = sub.add_parser("run", help="run one workload on one architecture")
-    p_run.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_run.add_argument("workload", choices=WORKLOAD_NAMES + ["VEC"])
     p_run.add_argument("--arch", default="UMN", choices=list(TABLE_III))
     p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.add_argument(
+        "--report",
+        default=None,
+        metavar="OUT.json",
+        help="write the full system_report() (includes timeseries when "
+        "--timeseries is on)",
+    )
+    _add_obs_flags(p_run)
 
     args = parser.parse_args(argv)
 
@@ -76,20 +186,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("architectures:", ", ".join(TABLE_III))
         return 0
     if args.command == "all":
+        obs = _make_obs(args)
         for name in EXPERIMENTS:
             if name == "fig17":
                 continue  # shares the fig16 sweep
-            _run_experiment(name, args.scale)
+            _run_experiment(name, args.scale, obs=obs)
             print()
+        _finish_obs(obs, args)
         return 0
     if args.command == "run":
-        result = run_workload(
-            get_spec(args.arch), get_workload(args.workload, args.scale)
-        )
-        for key, value in result.as_row().items():
-            print(f"{key:20s} {value}")
-        return 0
-    _run_experiment(args.command, args.scale, args.save)
+        return _run_one(args)
+    obs = _make_obs(args)
+    _run_experiment(args.command, args.scale, args.save, obs=obs)
+    _finish_obs(obs, args)
     return 0
 
 

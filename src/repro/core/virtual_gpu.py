@@ -134,6 +134,16 @@ class VirtualGPU:
 
     def _finish(self, launch: KernelLaunch) -> None:
         launch.finished_ps = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                "kernel",
+                launch.kernel.name,
+                launch.started_ps,
+                launch.finished_ps - launch.started_ps,
+                tid="vgpu",
+                args={"ctas": launch.kernel.num_ctas},
+            )
         self._active_count -= 1
         if launch.on_done is not None:
             launch.on_done()

@@ -31,3 +31,7 @@ class AddressError(ReproError):
 
 class SchedulerError(ReproError):
     """CTA scheduling produced an invalid assignment."""
+
+
+class MetricError(ReproError):
+    """An observability metric was misused (name collision, bad query)."""

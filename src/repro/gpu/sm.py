@@ -39,12 +39,15 @@ class SMStats:
 class _CTAContext:
     """Execution state of one resident CTA."""
 
-    __slots__ = ("cta_id", "phases", "phase_idx", "waiting", "pending", "token")
+    __slots__ = ("cta_id", "phases", "phase_idx", "waiting", "pending", "token",
+                 "started_ps")
 
     def __init__(self, cta_id: int, phases: Sequence[Phase], token=None) -> None:
         self.cta_id = cta_id
         self.phases = phases
         self.phase_idx = 0
+        #: When the CTA became resident (for the obs tracer's cta spans).
+        self.started_ps = 0
         #: Blocking responses (reads/atomics) still outstanding this phase.
         self.waiting = 0
         #: True once all of this phase's accesses have been handed to the
@@ -86,6 +89,7 @@ class SM:
             raise SimulationError(f"SM{self.sm_id}: no free CTA slot")
         self._resident += 1
         ctx = _CTAContext(cta_id, phases, token=token)
+        ctx.started_ps = self.sim.now
         # Schedule instead of running inline so a burst of launches
         # interleaves deterministically through the event queue.
         self.sim.after(0, lambda: self._advance(ctx))
@@ -135,6 +139,15 @@ class SM:
     def _finish_cta(self, ctx: _CTAContext) -> None:
         self._resident -= 1
         self.stats.ctas_executed += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                "cta",
+                f"cta{ctx.cta_id}",
+                ctx.started_ps,
+                self.sim.now - ctx.started_ps,
+                tid=f"{self.gpu.name}.sm{self.sm_id}",
+            )
         self.gpu.cta_finished(self, ctx.token)
 
     # ------------------------------------------------------------------

@@ -50,7 +50,8 @@ class HMC:
         self.cfg = cfg or HMCConfig()
         self.name = name
         self.vaults: List[Vault] = [
-            Vault(sim, self.cfg, vault_id=v) for v in range(self.cfg.num_vaults)
+            Vault(sim, self.cfg, vault_id=v, name=f"{name}.vault{v}")
+            for v in range(self.cfg.num_vaults)
         ]
         self.stats = HMCStats()
 

@@ -44,10 +44,17 @@ class VaultStats:
 class Vault:
     """One vault: banks + a shared data bus + an FR-FCFS request queue."""
 
-    def __init__(self, sim: Simulator, cfg: HMCConfig, vault_id: int = 0) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: HMCConfig,
+        vault_id: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
         self.sim = sim
         self.cfg = cfg
         self.vault_id = vault_id
+        self.name = name or f"vault{vault_id}"
         self.banks: List[Bank] = [Bank() for _ in range(cfg.banks_per_vault)]
         self.queue: List[_QueuedRequest] = []
         self.overflow: Deque[_QueuedRequest] = collections.deque()
@@ -139,6 +146,17 @@ class Vault:
             self.stats.row_hits += 1
         self.stats.total_queue_wait_ps += self.sim.now - req.arrived_ps
         self.stats.total_service_ps += done - self.sim.now
+
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                "vault",
+                access.type.name.lower(),
+                self.sim.now,
+                done - self.sim.now,
+                tid=self.name,
+                args={"bank": decoded.bank, "row_hit": was_hit},
+            )
 
         on_done = req.on_done
         self.sim.at(done, lambda: on_done(access))

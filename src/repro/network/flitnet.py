@@ -387,12 +387,26 @@ class FlitNetwork:
                 self._source_vcs[state_key] = None
 
     # -- delivery ----------------------------------------------------------
+    def _trace_delivery(self, packet: Packet) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                "packet",
+                packet.kind.name,
+                packet.injected_at_ps,
+                self.sim.now - packet.injected_at_ps,
+                tid=f"net.{packet.src}",
+                args={"dst": str(packet.dst), "hops": packet.hops,
+                      "bytes": packet.size_bytes},
+            )
+
     def _finish(self, packet: Packet, handler: Optional[PacketHandler]) -> None:
         if handler is None:
             raise SimulationError(f"no handler for router destination of {packet}")
         self.stats.delivered += 1
         self.stats.total_latency_ps += self.sim.now - packet.injected_at_ps
         self.stats.total_hops += packet.hops
+        self._trace_delivery(packet)
         handler(packet)
 
     def _finish_eject(self, packet: Packet, eject_channel: Channel) -> None:
@@ -403,6 +417,7 @@ class FlitNetwork:
         self.stats.delivered += 1
         self.stats.total_latency_ps += self.sim.now - packet.injected_at_ps
         self.stats.total_hops += packet.hops
+        self._trace_delivery(packet)
         handler(packet)
 
     # ------------------------------------------------------------------

@@ -265,6 +265,17 @@ class MemoryNetwork:
         self.stats.delivered += 1
         self.stats.total_latency_ps += self.sim.now - packet.injected_at_ps
         self.stats.total_hops += packet.hops
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                "packet",
+                packet.kind.name,
+                packet.injected_at_ps,
+                self.sim.now - packet.injected_at_ps,
+                tid=f"net.{packet.src}",
+                args={"dst": str(packet.dst), "hops": packet.hops,
+                      "bytes": packet.size_bytes},
+            )
         handler(packet)
 
     # ------------------------------------------------------------------

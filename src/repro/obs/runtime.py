@@ -1,0 +1,40 @@
+"""Process-wide default :class:`~repro.obs.bind.Observability` bundle.
+
+Experiment runners build their systems internally, several layers below
+the CLI; threading an ``obs`` argument through every ``fig*`` runner would
+churn every signature for a cross-cutting concern.  Instead the CLI (or a
+notebook) installs a default bundle here and every subsequently built
+``MultiGPUSystem`` picks it up, exactly like a logging root handler.
+
+Explicit ``obs=`` arguments always win over the default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .bind import Observability
+
+_default: Optional[Observability] = None
+
+
+def set_default(obs: Optional[Observability]) -> None:
+    """Install (or clear, with ``None``) the process-wide default bundle."""
+    global _default
+    _default = obs
+
+
+def get_default() -> Optional[Observability]:
+    return _default
+
+
+@contextmanager
+def default_observability(obs: Observability):
+    """Scope a default bundle to a ``with`` block."""
+    previous = _default
+    set_default(obs)
+    try:
+        yield obs
+    finally:
+        set_default(previous)

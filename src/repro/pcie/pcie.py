@@ -66,6 +66,21 @@ class PCIeSwitch:
         self.stats.transactions += 1
         self.stats.bytes += size
         at_switch = up.transmit(size, self.sim.now + self.cfg.latency_ps // 2)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            start_ps = self.sim.now
+            inner = on_done
+
+            def on_done() -> None:
+                tracer.complete(
+                    "pcie",
+                    f"{src}->{dst}",
+                    start_ps,
+                    self.sim.now - start_ps,
+                    tid=f"pcie.{src}",
+                    args={"bytes": size},
+                )
+                inner()
 
         def forward() -> None:
             arrive = down.transmit(size, self.sim.now + self.cfg.latency_ps // 2)

@@ -24,6 +24,14 @@ class Simulator:
         self._seq: int = 0
         self._events_executed: int = 0
         self._running = False
+        #: Optional :class:`~repro.obs.tracer.ChromeTracer`.  Components
+        #: reach it as ``sim.tracer`` and guard every emission with a
+        #: single ``is not None`` check, so the disabled cost is one
+        #: attribute load per hook site.
+        self.tracer = None
+        #: Optional :class:`~repro.obs.profiler.EventLoopProfiler`; when
+        #: set, :meth:`run` times every callback (checked once per run).
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -53,6 +61,7 @@ class Simulator:
         """
         executed = 0
         self._running = True
+        profiler = self.profiler
         try:
             while self._queue:
                 if until_ps is not None and self._queue[0][0] > until_ps:
@@ -61,7 +70,10 @@ class Simulator:
                     break
                 time_ps, _, fn = heapq.heappop(self._queue)
                 self.now = time_ps
-                fn()
+                if profiler is None:
+                    fn()
+                else:
+                    profiler.record(fn)
                 executed += 1
         finally:
             self._running = False

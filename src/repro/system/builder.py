@@ -47,6 +47,10 @@ from ..network.packet import (
     response_size_bytes,
 )
 from ..network.topologies import build_cmn, build_topology
+from ..obs import runtime as obs_runtime
+from ..obs.bind import Observability, register_system_metrics
+from ..obs.registry import MetricRegistry
+from ..obs.sampler import Sampler
 from ..pcie.pcie import PCIeSwitch
 from ..pcn.pcn import PCNFabric
 from ..sim.engine import Simulator
@@ -121,7 +125,12 @@ class DirectLink:
 class MultiGPUSystem:
     """One simulated multi-GPU system instance for a given architecture."""
 
-    def __init__(self, spec: ArchSpec, cfg: Optional[SystemConfig] = None) -> None:
+    def __init__(
+        self,
+        spec: ArchSpec,
+        cfg: Optional[SystemConfig] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.spec = spec
         self.cfg = cfg or SystemConfig()
         self.sim = Simulator()
@@ -160,6 +169,15 @@ class MultiGPUSystem:
 
         self._build_interconnect()
         self._wire_ports()
+
+        #: Every component's stats behind one queryable tree (repro.obs).
+        self.metrics = MetricRegistry()
+        register_system_metrics(self.metrics, self)
+        #: Set by Observability.bind() when periodic sampling is enabled.
+        self.sampler: Optional[Sampler] = None
+        self.obs = obs if obs is not None else obs_runtime.get_default()
+        if self.obs is not None:
+            self.obs.bind(self)
 
     # ------------------------------------------------------------------
     # Interconnect construction

@@ -70,6 +70,8 @@ class RunResult:
             "avg_hops": round(self.avg_hops, 2),
             "l1_hit": round(self.l1_hit_rate, 3),
             "l2_hit": round(self.l2_hit_rate, 3),
+            "hmc_row_hit": round(self.hmc_row_hit_rate, 3),
+            "memory_requests": self.memory_requests,
             "energy_uj": self.energy.total_uj if self.energy else 0.0,
         }
 

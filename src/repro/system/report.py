@@ -108,6 +108,10 @@ def system_report(system: MultiGPUSystem, top_channels: int = 16) -> Dict:
             "transactions": system.pcn.stats.transactions,
             "bytes": system.pcn.stats.bytes,
         }
+    sampler = getattr(system, "sampler", None)
+    if sampler is not None and sampler.num_samples:
+        # Windowed congestion series recorded by the obs sampler.
+        report["timeseries"] = sampler.as_dict()
     return report
 
 

@@ -14,6 +14,7 @@ from typing import List, Optional
 from ..config import SystemConfig
 from ..core.virtual_gpu import VirtualGPU
 from ..errors import SimulationError
+from ..obs.bind import Observability
 from ..workloads.base import HostStep, KernelStep, Workload
 from .builder import MultiGPUSystem
 from .configs import ArchSpec
@@ -32,12 +33,15 @@ def run_workload(
     num_active_gpus: Optional[int] = None,
     collect_traffic: bool = False,
     seed: Optional[int] = None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Simulate ``workload`` on the architecture described by ``spec``.
 
     ``num_active_gpus`` restricts kernel execution to the first N GPUs (all
     memory stays visible), as in the Fig. 7 remote-access study.
     ``placement_*`` override the page placement the transfer mode implies.
+    ``obs`` attaches an :class:`~repro.obs.bind.Observability` bundle
+    (tracing / sampling / profiling) to the run.
     """
     result, _ = run_workload_detailed(
         spec,
@@ -49,6 +53,7 @@ def run_workload(
         num_active_gpus=num_active_gpus,
         collect_traffic=collect_traffic,
         seed=seed,
+        obs=obs,
     )
     return result
 
@@ -63,12 +68,13 @@ def run_workload_detailed(
     num_active_gpus: Optional[int] = None,
     collect_traffic: bool = False,
     seed: Optional[int] = None,
+    obs: Optional[Observability] = None,
 ):
     """Like :func:`run_workload` but also returns the finished
     :class:`~repro.system.builder.MultiGPUSystem` for post-run inspection
     (e.g. :func:`repro.system.report.system_report`)."""
     cfg = cfg or SystemConfig()
-    system = MultiGPUSystem(spec, cfg)
+    system = MultiGPUSystem(spec, cfg, obs=obs)
     system.install_page_table(
         policy=placement_policy,
         clusters=placement_clusters,
@@ -76,6 +82,10 @@ def run_workload_detailed(
         seed=seed,
     )
     sim = system.sim
+    if sim.tracer is not None:
+        # The builder labels the trace process with the architecture only;
+        # now that the workload is known, make the sweep lanes readable.
+        sim.tracer.relabel_process(f"{spec.name}: {workload.name}")
 
     vgpu = system.vgpu
     if num_active_gpus is not None:
@@ -90,12 +100,17 @@ def run_workload_detailed(
     result.d2h_ps = memcpy_time_ps(spec, cfg, workload.d2h_bytes)
 
     steps = list(workload.steps)
-    state = {"idx": 0, "host_start": 0, "finished": False}
+    state = {"idx": 0, "host_start": 0, "finished": False, "end_ps": 0}
 
     def run_step() -> None:
         idx = state["idx"]
         if idx >= len(steps):
             # Device-to-host copy, then done.
+            if sim.tracer is not None and result.d2h_ps:
+                sim.tracer.complete(
+                    "memcpy", "D2H", sim.now, result.d2h_ps, tid="memcpy",
+                    args={"bytes": workload.d2h_bytes},
+                )
             sim.after(result.d2h_ps, finish)
             return
         state["idx"] = idx + 1
@@ -117,7 +132,15 @@ def run_workload_detailed(
 
     def finish() -> None:
         state["finished"] = True
+        # Captured here because a trailing obs sampler tick may advance
+        # sim.now past the workload's actual completion.
+        state["end_ps"] = sim.now
 
+    if sim.tracer is not None and result.h2d_ps:
+        sim.tracer.complete(
+            "memcpy", "H2D", sim.now, result.h2d_ps, tid="memcpy",
+            args={"bytes": workload.h2d_bytes},
+        )
     sim.after(result.h2d_ps, run_step)
     sim.run()
     if not state["finished"]:
@@ -126,7 +149,7 @@ def run_workload_detailed(
             f"{sim.pending_events} events pending, step {state['idx']}/{len(steps)}"
         )
 
-    _collect(result, system, vgpu, collect_traffic)
+    _collect(result, system, vgpu, collect_traffic, state["end_ps"])
     return result, system
 
 
@@ -135,9 +158,10 @@ def _collect(
     system: MultiGPUSystem,
     vgpu: VirtualGPU,
     collect_traffic: bool,
+    end_ps: int,
 ) -> None:
     sim = system.sim
-    result.total_ps = sim.now
+    result.total_ps = end_ps
     result.kernel_ps = vgpu.total_kernel_ps()
     result.kernel_breakdown_ps = [l.runtime_ps for l in vgpu.launches]
     result.events_executed = sim.events_executed

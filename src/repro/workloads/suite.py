@@ -338,12 +338,19 @@ SCALABILITY_WORKLOADS: List[str] = ["3DFD", "BP", "CP", "FWT", "RAY", "SCAN", "S
 
 
 def get_workload(name: str, scale: float = 1.0) -> Workload:
-    """Build a Table II workload by abbreviation."""
+    """Build a Table II workload (or the ``VEC`` microbenchmark) by
+    abbreviation."""
+    if name == "VEC":
+        # The Fig. 7 vectorAdd microbenchmark; not part of the Table II
+        # sweeps but handy for quick runs and observability smoke tests.
+        from .vectoradd import make_vectoradd
+
+        return make_vectoradd(num_ctas=max(1, round(256 * scale)))
     try:
         spec = WORKLOAD_SPECS[name]
     except KeyError:
         raise ConfigError(
-            f"unknown workload {name!r}; available: {WORKLOAD_NAMES}"
+            f"unknown workload {name!r}; available: {WORKLOAD_NAMES + ['VEC']}"
         ) from None
     return make_workload(spec, scale)
 

@@ -1,0 +1,144 @@
+"""Tests for the periodic sampler and the event-loop profiler."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.obs import ChromeTracer, EventLoopProfiler, Sampler
+from repro.sim.engine import Simulator
+
+
+def _busy_sim(until_ps: int, step_ps: int = 100) -> Simulator:
+    """A simulator with a no-op event every ``step_ps`` until ``until_ps``."""
+    sim = Simulator()
+    for t in range(step_ps, until_ps + 1, step_ps):
+        sim.at(t, lambda: None)
+    return sim
+
+
+class TestSampler:
+    def test_cadence_on_toy_simulator(self):
+        sim = _busy_sim(10_000)
+        sampler = Sampler(sim, interval_ps=1_000)
+        ticks = {"n": 0}
+
+        def probe():
+            ticks["n"] += 1
+            return float(sim.now)
+
+        sampler.add("t", probe)
+        sampler.start()
+        sim.run()
+        # One sample per interval across the busy window.
+        assert sampler.num_samples >= 10
+        assert sampler.t_ps == sorted(sampler.t_ps)
+        deltas = {
+            b - a for a, b in zip(sampler.t_ps, sampler.t_ps[1:])
+        }
+        assert deltas == {1_000}
+        assert sampler.series["t"] == [float(t) for t in sampler.t_ps]
+
+    def test_sampler_does_not_keep_queue_alive(self):
+        sim = _busy_sim(2_000)
+        sampler = Sampler(sim, interval_ps=500)
+        sampler.add("zero", lambda: 0.0)
+        sampler.start()
+        sim.run()
+        assert sim.pending_events == 0  # terminated despite periodic probe
+
+    def test_delta_probe_windows_a_monotonic_counter(self):
+        sim = _busy_sim(3_000)
+        total = {"v": 0.0}
+
+        def bump():
+            total["v"] += 10.0
+
+        for t in range(100, 3_001, 100):
+            sim.at(t, bump)
+        sampler = Sampler(sim, interval_ps=1_000)
+        sampler.add_delta("rate", lambda: total["v"])
+        sampler.start()
+        sim.run()
+        # 10 bumps of 10 per 1000 ps window.
+        assert sampler.series["rate"][0] == pytest.approx(100.0)
+
+    def test_counter_events_mirrored_to_tracer(self):
+        sim = _busy_sim(2_000)
+        tracer = ChromeTracer()
+        sampler = Sampler(sim, interval_ps=1_000, tracer=tracer)
+        sampler.add("depth", lambda: 3.0)
+        sampler.start()
+        sim.run()
+        counters = [e for e in tracer.events if e["ph"] == "C"]
+        assert counters
+        assert counters[0]["args"] == {"value": 3.0}
+
+    def test_probe_name_collision(self):
+        sampler = Sampler(Simulator(), interval_ps=100)
+        sampler.add("x", lambda: 0.0)
+        with pytest.raises(MetricError):
+            sampler.add("x", lambda: 1.0)
+
+    def test_bad_interval(self):
+        with pytest.raises(MetricError):
+            Sampler(Simulator(), interval_ps=0)
+
+    def test_as_dict_is_json_shaped(self):
+        sim = _busy_sim(1_000)
+        sampler = Sampler(sim, interval_ps=500)
+        sampler.add("x", lambda: 1.0)
+        sampler.start()
+        sim.run()
+        dump = sampler.as_dict()
+        assert dump["interval_ps"] == 500
+        assert dump["num_samples"] == len(dump["t_ps"])
+        assert list(dump["series"]) == ["x"]
+
+
+class TestDisabledOverhead:
+    def test_no_tracer_records_nothing(self):
+        """With tracer/profiler unset the engine does pure execution."""
+        sim = Simulator()
+        assert sim.tracer is None and sim.profiler is None
+        hits = {"n": 0}
+        for t in range(100, 1_100, 100):
+            sim.at(t, lambda: hits.__setitem__("n", hits["n"] + 1))
+        sim.run()
+        assert hits["n"] == 10
+
+    def test_disabled_tracer_emits_no_events_in_real_run(self):
+        from repro import get_spec, get_workload, run_workload_detailed
+
+        result, system = run_workload_detailed(
+            get_spec("UMN"), get_workload("VEC", 0.05)
+        )
+        assert system.sim.tracer is None
+        assert system.sampler is None
+        assert result.total_ps > 0
+
+
+class TestEventLoopProfiler:
+    def test_attributes_wall_time_by_module(self):
+        sim = Simulator()
+        sim.profiler = EventLoopProfiler()
+        for t in range(100, 600, 100):
+            sim.at(t, lambda: None)
+        sim.run()
+        profiler = sim.profiler
+        assert profiler.events == 5
+        assert profiler.wall_s >= 0.0
+        report = profiler.report()
+        assert report["events"] == 5
+        assert sum(m["events"] for m in report["by_module"].values()) == 5
+        assert "event loop: 5 events" in profiler.render()
+
+    def test_propagates_and_still_charges_on_exception(self):
+        sim = Simulator()
+        sim.profiler = EventLoopProfiler()
+
+        def boom():
+            raise RuntimeError("x")
+
+        sim.at(10, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert sim.profiler.events == 1

@@ -1,0 +1,56 @@
+"""Tests for the Chrome trace-event tracer."""
+
+import json
+
+from repro.obs import ChromeTracer
+
+
+class TestChromeTracer:
+    def test_complete_event_fields(self):
+        tr = ChromeTracer()
+        tr.complete("kernel", "vectorAdd", 1_000_000, 2_000_000, tid="vgpu")
+        (event,) = [e for e in tr.events if e["ph"] == "X"]
+        assert event["cat"] == "kernel"
+        assert event["name"] == "vectorAdd"
+        assert event["ts"] == 1.0  # ps -> us
+        assert event["dur"] == 2.0
+        assert event["tid"] == "vgpu"
+
+    def test_round_trips_through_json(self):
+        tr = ChromeTracer()
+        pid = tr.begin_process("UMN")
+        tr.complete("packet", "READ_REQ", 0, 500, tid="net.gpu0",
+                    args={"hops": 3}, pid=pid)
+        tr.instant("sim", "deadlock?", 42)
+        tr.counter("net.in_flight", 100, {"value": 7.0})
+        parsed = json.loads(tr.to_json())
+        assert parsed["traceEvents"]
+        phases = {e["ph"] for e in parsed["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+        # Every event carries the mandatory trace-event keys.
+        for event in parsed["traceEvents"]:
+            assert "ph" in event and "pid" in event and "tid" in event
+
+    def test_dump_writes_loadable_file(self, tmp_path):
+        tr = ChromeTracer()
+        tr.complete("vault", "read", 0, 10)
+        path = tmp_path / "trace.json"
+        tr.dump(str(path))
+        parsed = json.loads(path.read_text())
+        assert len(parsed["traceEvents"]) == 2  # process meta + span
+        assert parsed["displayTimeUnit"] == "ns"
+
+    def test_categories(self):
+        tr = ChromeTracer()
+        tr.complete("kernel", "k", 0, 1)
+        tr.complete("vault", "read", 0, 1)
+        tr.complete("vault", "write", 0, 1)
+        assert tr.categories() == ["kernel", "vault"]
+
+    def test_processes_get_distinct_pids(self):
+        tr = ChromeTracer()
+        a = tr.begin_process("run0")
+        b = tr.begin_process("run1")
+        assert a != b
+        tr.complete("kernel", "k", 0, 1, pid=b)
+        assert tr.events[-1]["pid"] == b

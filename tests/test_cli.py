@@ -38,11 +38,79 @@ class TestExperiments:
             main(["fig99"])
 
 
+class TestScaleWarning:
+    def test_warns_when_scale_is_dropped(self, capsys):
+        # fig12 is analytic (no scale parameter); the flag must not be
+        # silently ignored.
+        assert main(["fig12", "--scale", "0.5"]) == 0
+        err = capsys.readouterr().err
+        assert "does not take --scale" in err
+
+    def test_no_warning_for_scaled_experiment(self, capsys):
+        assert main(["fig12"]) == 0
+        assert "does not take --scale" not in capsys.readouterr().err
+
+
 class TestRunCommand:
     def test_run_workload(self, capsys):
         assert main(["run", "KMN", "--arch", "UMN", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "kernel_us" in out
+        # Satellite: as_row() must surface the HMC row-hit rate and the
+        # memory request count.
+        assert "hmc_row_hit" in out
+        assert "memory_requests" in out
+
+    def test_run_vec_microbenchmark(self, capsys):
+        assert main(["run", "VEC", "--arch", "UMN", "--scale", "0.1"]) == 0
+        assert "vectorAdd" in capsys.readouterr().out
+
+    def test_run_with_report_flag(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(
+            ["run", "VEC", "--arch", "UMN", "--scale", "0.1",
+             "--report", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["architecture"] == "UMN"
+        assert "gpus" in report and "hmcs" in report
+
+    def test_run_with_trace_and_timeseries(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        report = tmp_path / "r.json"
+        assert main(
+            ["run", "VEC", "--arch", "UMN", "--scale", "0.1",
+             "--trace", str(trace), "--timeseries", "0.1",
+             "--report", str(report)]
+        ) == 0
+        parsed = json.loads(trace.read_text())
+        cats = {e.get("cat") for e in parsed["traceEvents"] if "cat" in e}
+        assert {"kernel", "cta", "packet", "vault"} <= cats
+        assert "timeseries" in json.loads(report.read_text())
+
+    def test_run_with_profile(self, capsys):
+        assert main(
+            ["run", "VEC", "--arch", "UMN", "--scale", "0.1", "--profile"]
+        ) == 0
+        assert "events/s" in capsys.readouterr().out
+
+    def test_experiment_with_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        assert main(["fig12", "--trace", str(trace)]) == 0
+        # fig12 is analytic (builds no systems), but the trace file must
+        # still be written and be valid Chrome trace JSON.
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_run_rejects_nonpositive_timeseries_interval(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "VEC", "--timeseries", "-1"])
+        assert "positive" in capsys.readouterr().err
 
     def test_run_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
