@@ -5,9 +5,22 @@ Examples::
     repro list                 # show available experiments
     repro fig14                # reproduce the Fig. 14 sweep and print it
     repro fig14 --scale 0.1    # quicker, smaller inputs
+    repro fig14 --jobs 4       # fan the sweep over 4 worker processes
+    repro fig14 --cache        # reuse results across repeated invocations
     repro run KMN --arch UMN   # run one workload on one architecture
     repro run VEC --arch UMN --trace t.json --timeseries --profile
-    repro all                  # run every experiment (slow)
+    repro all --jobs 8         # run every experiment (slow)
+
+Performance flags (``all`` and every experiment subcommand):
+
+- ``--jobs N`` — run the sweep's independent simulations on N worker
+  processes (default 1 = serial; results are identical either way).
+  ``REPRO_JOBS=N`` is the environment equivalent.
+- ``--cache [DIR]`` — memoize simulation results keyed on (config,
+  workload, code version); with DIR the cache persists on disk across
+  invocations (``REPRO_CACHE_DIR`` is the environment equivalent).
+- ``--bench-json DIR`` — write a ``BENCH_<experiment>.json`` wall-clock
+  record for the run (see docs/performance.md).
 
 Observability flags (``run`` and every experiment subcommand):
 
@@ -26,6 +39,8 @@ import sys
 import time
 from typing import List, Optional
 
+from .exec import ResultCache, jobs_from_env, write_bench
+from .exec import runtime as exec_runtime
 from .experiments import EXPERIMENTS
 from .obs import Observability, default_observability
 from .system.configs import TABLE_III, get_spec
@@ -70,6 +85,61 @@ def _positive_us(text: str) -> float:
     return value
 
 
+def _positive_jobs(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs needs a worker count >= 1, got {text}"
+        )
+    return value
+
+
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_jobs,
+        default=None,
+        metavar="N",
+        help="run sweep points on N worker processes (default: REPRO_JOBS "
+        "or serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="memoize simulation results; with DIR, persist them on disk "
+        "across invocations (default: REPRO_CACHE_DIR or off)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=None,
+        metavar="DIR",
+        help="write a BENCH_<experiment>.json wall-clock record into DIR",
+    )
+
+
+def _install_perf_defaults(args, obs: Optional[Observability] = None) -> None:
+    """Install --jobs/--cache as the process-wide sweep defaults."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = jobs_from_env(default=1)
+    if obs is not None and jobs > 1:
+        # Pool workers cannot share a tracer/sampler/profiler; rather than
+        # silently produce an empty trace, keep the sweep in-process.
+        print(
+            "warning: observability flags need in-process execution; "
+            f"running serially instead of with {jobs} workers",
+            file=sys.stderr,
+        )
+        jobs = 1
+    exec_runtime.set_default_jobs(jobs)
+    cache_arg = getattr(args, "cache", None)
+    if cache_arg is not None:
+        exec_runtime.set_default_cache(ResultCache(cache_arg or None))
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -99,6 +169,7 @@ def _run_experiment(
     scale: Optional[float],
     save: Optional[str] = None,
     obs: Optional[Observability] = None,
+    bench_json: Optional[str] = None,
 ) -> None:
     runner = EXPERIMENTS[name]
     kwargs = {}
@@ -116,11 +187,22 @@ def _run_experiment(
             result = runner(**kwargs)
     else:
         result = runner(**kwargs)
+    wall = time.time() - start
     print(result.render())
-    print(f"[{name} completed in {time.time() - start:.1f}s]")
+    jobs = exec_runtime.get_default_jobs() or 1
+    cache = exec_runtime.get_default_cache()
+    note = f" with {jobs} workers" if jobs > 1 else ""
+    if cache is not None and (cache.stats.hits or cache.stats.misses):
+        note += f" ({cache.stats.as_note()})"
+    print(f"[{name} completed in {wall:.1f}s{note}]")
     if save:
         result.save(save)
         print(f"[saved to {save}]")
+    if bench_json:
+        path = write_bench(
+            name, wall, directory=bench_json, jobs=jobs, rows=len(result.rows)
+        )
+        print(f"[bench record -> {path}]")
 
 
 def _run_one(args) -> int:
@@ -159,10 +241,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument(
             "--save", default=None, help="export the rows (.csv or .json)"
         )
+        _add_perf_flags(p)
         _add_obs_flags(p)
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--scale", type=float, default=None)
+    _add_perf_flags(p_all)
     _add_obs_flags(p_all)
 
     p_run = sub.add_parser("run", help="run one workload on one architecture")
@@ -187,17 +271,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "all":
         obs = _make_obs(args)
+        _install_perf_defaults(args, obs)
         for name in EXPERIMENTS:
             if name == "fig17":
                 continue  # shares the fig16 sweep
-            _run_experiment(name, args.scale, obs=obs)
+            _run_experiment(name, args.scale, obs=obs, bench_json=args.bench_json)
             print()
         _finish_obs(obs, args)
         return 0
     if args.command == "run":
         return _run_one(args)
     obs = _make_obs(args)
-    _run_experiment(args.command, args.scale, args.save, obs=obs)
+    _install_perf_defaults(args, obs)
+    _run_experiment(
+        args.command, args.scale, args.save, obs=obs, bench_json=args.bench_json
+    )
     _finish_obs(obs, args)
     return 0
 

@@ -1,0 +1,54 @@
+"""repro.exec — the sweep performance layer.
+
+Three cooperating pieces make the experiment suite scale:
+
+- :class:`~repro.exec.executor.SweepExecutor` fans independent sweep
+  points out over a process pool (``--jobs N`` / ``REPRO_JOBS``) with
+  deterministic submission-order merging and a serial default;
+- :class:`~repro.exec.cache.ResultCache` keys results on a content hash
+  of (spec, config, workload, code version) and short-circuits repeated
+  simulations within and across experiments;
+- :mod:`~repro.exec.bench` records wall-clock baselines as
+  ``BENCH_<name>.json`` so the performance trajectory is measurable.
+
+Correctness bar: serial, parallel, and cached executions of the same
+sweep produce identical rows (every run is a pure function of its job).
+"""
+
+from .bench import bench_name_for_module, bench_record, write_bench
+from .cache import CacheStats, ResultCache, code_version, job_fingerprint, job_key
+from .executor import JOBS_ENV, SweepExecutor, jobs_from_env
+from .jobs import SweepJob, WorkloadRef, execute_job
+from .runtime import (
+    CACHE_DIR_ENV,
+    default_executor,
+    get_default_cache,
+    get_default_jobs,
+    set_default_cache,
+    set_default_jobs,
+    sweep_defaults,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "JOBS_ENV",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepJob",
+    "WorkloadRef",
+    "bench_name_for_module",
+    "bench_record",
+    "code_version",
+    "default_executor",
+    "execute_job",
+    "get_default_cache",
+    "get_default_jobs",
+    "job_fingerprint",
+    "job_key",
+    "jobs_from_env",
+    "set_default_cache",
+    "set_default_jobs",
+    "sweep_defaults",
+    "write_bench",
+]

@@ -1,0 +1,80 @@
+"""Wall-clock benchmark records (``BENCH_<name>.json``).
+
+The ROADMAP's "as fast as the hardware allows" goal needs a measured
+trajectory: every perf PR should be able to show its before/after.  This
+module writes one small JSON record per benchmarked sweep — experiment
+name, wall-clock seconds, worker count, row count, code digest — in a
+stable schema that tooling (and CI artifacts) can diff across commits.
+
+Producers:
+
+- the benchmark harness (``REPRO_BENCH_JSON=DIR pytest benchmarks/``)
+  records every ``bench_*`` module's sweep;
+- the CLI (``repro fig14 --bench-json DIR``) records a single experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+def bench_record(
+    name: str,
+    wall_s: float,
+    jobs: Optional[int] = None,
+    rows: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one benchmark record in the stable ``BENCH_*.json`` schema."""
+    from .cache import code_version
+
+    record: Dict[str, Any] = {
+        "bench": name,
+        "wall_clock_s": round(wall_s, 4),
+        "jobs": jobs if jobs is not None else 1,
+        "rows": rows,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "code_version": code_version(),
+        "timestamp": int(time.time()),
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def write_bench(
+    name: str,
+    wall_s: float,
+    directory: str = ".",
+    jobs: Optional[int] = None,
+    rows: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    record = bench_record(name, wall_s, jobs=jobs, rows=rows, extra=extra)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def bench_name_for_module(module_stem: str) -> str:
+    """Map a benchmark module stem to its record name.
+
+    ``bench_fig14_organizations`` -> ``fig14``;
+    ``bench_ext_pcn_flit`` -> ``ext_pcn`` (extensions keep two tokens).
+    """
+    stem = module_stem
+    if stem.startswith("bench_"):
+        stem = stem[len("bench_"):]
+    tokens = stem.split("_")
+    if tokens[0] == "ext" and len(tokens) > 1:
+        return "_".join(tokens[:2])
+    return tokens[0]

@@ -1,0 +1,154 @@
+"""Content-addressed cache of simulation results.
+
+Sweeps re-run many identical points: Fig. 14, Fig. 18, and Fig. 19 all
+simulate overlapping (architecture, workload, config) combinations, and a
+re-invocation of ``repro all`` repeats every one of them.  Since every run
+is a pure function of its inputs (packet ids reset per run, all RNG seeded
+from the job), a :class:`RunResult` can be keyed on a stable hash of
+
+- the architecture spec,
+- the full system config,
+- the workload reference (name, scale, factory, kwargs),
+- any extra ``run_workload`` keyword arguments, and
+- a digest of the simulator's own source code (so a code change can never
+  resurrect stale results).
+
+Results are stored pickled — in memory always, and under a directory when
+one is given (``--cache DIR`` / ``REPRO_CACHE_DIR``) so hits survive
+across invocations.  ``get`` always unpickles a fresh copy, so a cached
+result can be mutated by its consumer without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..system.metrics import RunResult
+from .jobs import SweepJob
+
+#: Bump when the cached payload's semantics change (e.g. new RunResult
+#: fields with behavior-affecting defaults).
+CACHE_SCHEMA = 1
+
+_code_digest: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file, memoized per process."""
+    global _code_digest
+    if _code_digest is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _code_digest = h.hexdigest()[:16]
+    return _code_digest
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to JSON-stable primitives for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {f.name: _canonical(getattr(value, f.name)) for f in dataclasses.fields(value)}
+        return {"__type__": type(value).__name__, **body}
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def job_fingerprint(job: SweepJob) -> Dict[str, Any]:
+    """The full identity of a job, as a JSON-serializable dict."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "code": code_version(),
+        "spec": _canonical(job.spec),
+        "cfg": _canonical(job.cfg),
+        "workload": _canonical(job.workload.describe()),
+        "run_kwargs": _canonical(dict(job.run_kwargs)),
+    }
+
+
+def job_key(job: SweepJob) -> str:
+    """Stable content hash of a job's identity."""
+    payload = json.dumps(job_fingerprint(job), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_note(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses"
+
+
+class ResultCache:
+    """In-memory (and optionally on-disk) store of pickled RunResults."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path: Optional[Path] = Path(path) if path else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._mem: Dict[str, bytes] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # ------------------------------------------------------------------
+    def get(self, job: SweepJob) -> Optional[RunResult]:
+        key = job_key(job)
+        payload = self._mem.get(key)
+        if payload is None and self.path is not None:
+            file = self.path / f"{key}.pkl"
+            if file.exists():
+                payload = file.read_bytes()
+                self._mem[key] = payload
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return pickle.loads(payload)
+
+    def put(self, job: SweepJob, result: RunResult) -> None:
+        key = job_key(job)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._mem[key] = payload
+        self.stats.stores += 1
+        if self.path is not None:
+            # Atomic write: a crashed/concurrent run never leaves a torn file.
+            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self.path / f"{key}.pkl")
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def clear(self) -> None:
+        self._mem.clear()
+        if self.path is not None:
+            for file in self.path.glob("*.pkl"):
+                file.unlink()

@@ -1,0 +1,102 @@
+"""The process-pool sweep executor.
+
+Every figure reproduction is an embarrassingly parallel sweep — N
+independent ``(spec, workload, cfg)`` simulations whose results are merged
+into a table.  :class:`SweepExecutor` fans those points out over a
+``concurrent.futures.ProcessPoolExecutor`` and merges results in
+**submission order**, so the produced rows are identical to a serial run
+regardless of worker scheduling.
+
+Degrees of freedom, in precedence order:
+
+1. an explicit ``jobs=`` argument (the CLI's ``--jobs N``),
+2. the ``REPRO_JOBS`` environment variable,
+3. serial in-process execution (the default — bit-identical to the
+   pre-executor behavior, and the mode under which observability sinks
+   keep working, since workers cannot share a tracer).
+
+An attached :class:`~repro.exec.cache.ResultCache` short-circuits any job
+whose result is already known; only misses are submitted to the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..system.metrics import RunResult
+from .cache import ResultCache
+from .jobs import SweepJob, _worker_initializer, execute_job
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Parse ``REPRO_JOBS``; invalid or missing values fall back to serial."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+class SweepExecutor:
+    """Runs sweep jobs serially or across worker processes."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = jobs_from_env()
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def map(self, jobs: Sequence[SweepJob]) -> List[RunResult]:
+        """Execute ``jobs``; results come back in submission order.
+
+        Cached, parallel, and serial execution all yield identical lists:
+        each simulation is a pure function of its job (see
+        ``reset_packet_ids``), results are merged by index, and the cache
+        returns a fresh unpickled copy per hit.
+        """
+        jobs = list(jobs)
+        results: List[Optional[RunResult]] = [None] * len(jobs)
+        pending: List[int] = []
+        for i, job in enumerate(jobs):
+            hit = self.cache.get(job) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending.append(i)
+
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_initializer
+            ) as pool:
+                futures = [(i, pool.submit(execute_job, jobs[i])) for i in pending]
+                for i, future in futures:
+                    results[i] = future.result()
+        else:
+            for i in pending:
+                results[i] = execute_job(jobs[i])
+
+        if self.cache is not None:
+            for i in pending:
+                self.cache.put(jobs[i], results[i])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cache = "on" if self.cache is not None else "off"
+        return f"SweepExecutor(jobs={self.jobs}, cache={cache})"

@@ -1,0 +1,75 @@
+"""Process-wide sweep-execution defaults (worker count, cache).
+
+Experiment runners build their sweeps several layers below the CLI;
+threading ``executor=`` through every call site would churn every
+signature for a cross-cutting concern.  Like ``repro.obs.runtime``, the
+CLI (or a notebook) installs defaults here and every experiment that
+doesn't receive an explicit executor picks them up.
+
+Environment fallbacks make the defaults scriptable without flags:
+``REPRO_JOBS=8`` parallelizes every sweep, ``REPRO_CACHE_DIR=~/.repro``
+persists results across invocations.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from .cache import ResultCache
+from .executor import SweepExecutor
+
+#: Environment variable naming a persistent cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_UNSET = object()
+
+_default_jobs: Optional[int] = None
+_default_cache: object = _UNSET
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Install (or clear, with ``None``) the default worker count."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def get_default_jobs() -> Optional[int]:
+    """The installed worker count, or ``None`` (env/serial fallback)."""
+    return _default_jobs
+
+
+def set_default_cache(cache: Optional[ResultCache]) -> None:
+    """Install the default result cache (``None`` disables caching)."""
+    global _default_cache
+    _default_cache = cache
+
+
+def get_default_cache() -> Optional[ResultCache]:
+    """The installed cache; first call may create one from the env var."""
+    global _default_cache
+    if _default_cache is _UNSET:
+        cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip()
+        _default_cache = ResultCache(cache_dir) if cache_dir else None
+    return _default_cache  # type: ignore[return-value]
+
+
+def default_executor() -> SweepExecutor:
+    """The executor an experiment uses when not handed one explicitly."""
+    return SweepExecutor(jobs=get_default_jobs(), cache=get_default_cache())
+
+
+@contextmanager
+def sweep_defaults(
+    jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+):
+    """Scope executor defaults to a ``with`` block (tests, notebooks)."""
+    global _default_jobs, _default_cache
+    prev_jobs, prev_cache = _default_jobs, _default_cache
+    _default_jobs = jobs
+    _default_cache = cache
+    try:
+        yield
+    finally:
+        _default_jobs, _default_cache = prev_jobs, prev_cache

@@ -18,20 +18,20 @@ import random
 from typing import Optional, Sequence
 
 from ..config import NetworkConfig, SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..network.flitnet import FlitNetwork
 from ..network.network import MemoryNetwork
-from ..network.packet import Packet, PacketKind
+from ..network.packet import Packet, PacketKind, reset_packet_ids
 from ..network.topologies import build_topology
 from ..sim.engine import Simulator
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 LOADS = (0.1, 0.4, 0.8)
 
 
 def _latency(model_cls, topology: str, load: float, packets: int, seed: int) -> float:
+    reset_packet_ids()
     sim = Simulator()
     topo = build_topology(topology, num_gpus=4)
     net = model_cls(sim, topo, NetworkConfig())
@@ -60,8 +60,10 @@ def run(
     scale: float = 0.25,
     cfg: Optional[SystemConfig] = None,
     seed: int = 9,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Ext: flit validation",
         "Packet-level vs flit-level network engines",
@@ -80,12 +82,18 @@ def run(
             flit_ns=round(flit, 1),
             ratio=round(flit / pkt, 2) if pkt else 0.0,
         )
+    jobs = [
+        SweepJob.make(
+            get_spec("GMN"),
+            WorkloadRef(name, scale),
+            dataclasses.replace(cfg, network_model=model),
+        )
+        for name in workloads
+        for model in ("packet", "flit")
+    ]
+    results = iter(executor.map(jobs))
     for name in workloads:
-        runtimes = {}
-        for model in ("packet", "flit"):
-            model_cfg = dataclasses.replace(cfg, network_model=model)
-            r = run_workload(get_spec("GMN"), get_workload(name, scale), cfg=model_cfg)
-            runtimes[model] = r.kernel_ps
+        runtimes = {model: next(results).kernel_ps for model in ("packet", "flit")}
         result.add(
             study="full-system",
             point=name,

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 
 from ..config import NetworkConfig
 from ..network.network import MemoryNetwork
-from ..network.packet import Packet, PacketKind
+from ..network.packet import Packet, PacketKind, reset_packet_ids
 from ..network.topologies import build_topology
 from ..network.traffic import get_pattern
 from ..sim.engine import Simulator
@@ -35,6 +35,7 @@ def _measure(
     pattern: str = "uniform",
 ) -> float:
     """Average request latency (ns) at the given offered load."""
+    reset_packet_ids()
     sim = Simulator()
     cfg = NetworkConfig()
     topo = build_topology(topology, num_gpus=num_gpus)

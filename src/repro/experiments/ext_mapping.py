@@ -16,9 +16,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 DEFAULT_WORKLOADS = ("BP", "SCAN", "3DFD", "SRAD", "KMN", "CG.S")
@@ -29,8 +28,10 @@ def run(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     arch: str = "GMN",
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Ext: mapping",
         "Random vs first-touch page placement (extension; Section III-C "
@@ -40,16 +41,20 @@ def run(
             "mapping as future work"
         ),
     )
+    jobs = [
+        SweepJob.make(
+            get_spec(arch),
+            WorkloadRef(name, scale),
+            cfg,
+            placement_policy=policy,
+        )
+        for name in workloads
+        for policy in ("random", "first_touch")
+    ]
+    results = iter(executor.map(jobs))
     for name in workloads:
-        rows = {}
         for policy in ("random", "first_touch"):
-            r = run_workload(
-                get_spec(arch),
-                get_workload(name, scale),
-                cfg=cfg,
-                placement_policy=policy,
-            )
-            rows[policy] = r
+            r = next(results)
             result.add(
                 workload=name,
                 placement=policy,

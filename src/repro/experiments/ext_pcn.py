@@ -14,10 +14,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import geometric_mean
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 ARCHS = ("PCIe", "NVLink", "GMN", "UMN")
@@ -28,8 +27,10 @@ def run(
     scale: float = 0.25,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Ext: PCN",
         "Memory networks vs NVLink-style processor-centric network "
@@ -39,12 +40,16 @@ def run(
             "processor-centric: remote memory still crosses the remote GPU"
         ),
     )
+    jobs = [
+        SweepJob.make(get_spec(arch), WorkloadRef(name, scale), cfg)
+        for name in workloads
+        for arch in ARCHS
+    ]
     totals = {a: {} for a in ARCHS}
-    for name in workloads:
-        for arch in ARCHS:
-            r = run_workload(get_spec(arch), get_workload(name, scale), cfg=cfg)
-            totals[arch][name] = r.kernel_ps + r.memcpy_ps
-            result.add(
+    for job, r in zip(jobs, executor.map(jobs)):
+        name, arch = job.workload.name, job.spec.name
+        totals[arch][name] = r.kernel_ps + r.memcpy_ps
+        result.add(
                 workload=name,
                 arch=arch,
                 kernel_us=r.kernel_ps / 1e6,

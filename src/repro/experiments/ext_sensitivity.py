@@ -19,26 +19,20 @@ import dataclasses
 from typing import Optional
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 
-def _umn_speedup(cfg: SystemConfig, workload, scale: float) -> float:
-    pcie = run_workload(get_spec("PCIe"), get_workload(workload, scale), cfg=cfg)
-    umn = run_workload(get_spec("UMN"), get_workload(workload, scale), cfg=cfg)
-    return (pcie.kernel_ps + pcie.memcpy_ps) / (umn.kernel_ps + umn.memcpy_ps)
-
-
-def _sfbfly_ratio(cfg: SystemConfig, workload, scale: float) -> float:
-    mesh = run_workload(
-        get_spec("GMN").with_(topology="smesh"), get_workload(workload, scale), cfg=cfg
+def _specs():
+    """The four runs every perturbation needs: Fig. 14's PCIe/UMN pair and
+    Fig. 16's sMESH/sFBFLY pair."""
+    return (
+        get_spec("PCIe"),
+        get_spec("UMN"),
+        get_spec("GMN").with_(topology="smesh"),
+        get_spec("GMN").with_(topology="sfbfly"),
     )
-    sfb = run_workload(
-        get_spec("GMN").with_(topology="sfbfly"), get_workload(workload, scale), cfg=cfg
-    )
-    return mesh.kernel_ps / sfb.kernel_ps
 
 
 def _variants(base: SystemConfig):
@@ -67,8 +61,10 @@ def run(
     workload: str = "BP",
     scale: float = 0.25,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     base = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Ext: sensitivity",
         "Headline conclusions under 2x parameter perturbations",
@@ -77,11 +73,21 @@ def run(
             "every perturbation"
         ),
     )
-    for label, variant in _variants(base):
+    variants = list(_variants(base))
+    ref = WorkloadRef(workload, scale)
+    jobs = [
+        SweepJob.make(spec, ref, variant)
+        for _label, variant in variants
+        for spec in _specs()
+    ]
+    results = iter(executor.map(jobs))
+    for label, _variant in variants:
+        pcie, umn, mesh, sfb = (next(results) for _ in range(4))
+        umn_speedup = (pcie.kernel_ps + pcie.memcpy_ps) / (umn.kernel_ps + umn.memcpy_ps)
         result.add(
             parameter=label,
-            umn_speedup_vs_pcie=round(_umn_speedup(variant, workload, scale), 2),
-            sfbfly_speedup_vs_smesh=round(_sfbfly_ratio(variant, workload, scale), 2),
+            umn_speedup_vs_pcie=round(umn_speedup, 2),
+            sfbfly_speedup_vs_smesh=round(mesh.kernel_ps / sfb.kernel_ps, 2),
         )
     baseline = result.rows[0]
     result.note(

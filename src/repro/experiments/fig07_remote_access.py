@@ -19,9 +19,8 @@ import dataclasses
 from typing import Optional
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.vectoradd import make_vectoradd
 from .common import ExperimentResult
 
 #: (label, per-cluster page weights) for the distribution sweep.
@@ -36,8 +35,10 @@ def run(
     num_ctas: int = 96,
     lines_per_cta: int = 8,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Fig. 7",
         "vectorAdd runtime vs data distribution (1 active GPU)",
@@ -46,23 +47,34 @@ def run(
             "at 50% remote and saturates at 75%"
         ),
     )
-    workload = make_vectoradd(num_ctas=num_ctas, lines_per_cta=lines_per_cta)
+    workload = WorkloadRef(
+        "vectoradd",
+        factory="repro.workloads.vectoradd:make_vectoradd",
+        kwargs=(("num_ctas", num_ctas), ("lines_per_cta", lines_per_cta)),
+    )
 
     gmn_cfg = dataclasses.replace(
         cfg, hmc=dataclasses.replace(cfg.hmc, vault_bus_bytes_per_cycle=2)
     )
-    for arch, run_cfg in (("PCIe", cfg), ("GMN", gmn_cfg)):
+    systems = (("PCIe", cfg), ("GMN", gmn_cfg))
+    jobs = [
+        SweepJob.make(
+            get_spec(arch),
+            workload,
+            run_cfg,
+            placement_policy="weighted",
+            placement_clusters=(0, 1, 2, 3),
+            placement_weights=tuple(weights),
+            num_active_gpus=1,
+        )
+        for arch, run_cfg in systems
+        for _label, weights in DISTRIBUTIONS
+    ]
+    results = iter(executor.map(jobs))
+    for arch, _run_cfg in systems:
         baseline = None
-        for label, weights in DISTRIBUTIONS:
-            r = run_workload(
-                get_spec(arch),
-                workload,
-                cfg=run_cfg,
-                placement_policy="weighted",
-                placement_clusters=[0, 1, 2, 3],
-                placement_weights=weights,
-                num_active_gpus=1,
-            )
+        for label, _weights in DISTRIBUTIONS:
+            r = next(results)
             if baseline is None:
                 baseline = r.kernel_ps
             result.add(

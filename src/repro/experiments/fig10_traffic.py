@@ -14,9 +14,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 
@@ -37,8 +36,10 @@ def run(
     scale: float = 1.0,
     cfg: Optional[SystemConfig] = None,
     include_ablation: bool = True,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Fig. 10",
         "GPU-to-HMC traffic distribution (GMN, 4GPU-16HMC)",
@@ -49,14 +50,20 @@ def run(
         ),
     )
     interleaves = ("line", "page") if include_ablation else ("line",)
+    jobs = [
+        SweepJob.make(
+            get_spec("GMN"),
+            WorkloadRef(name, scale),
+            cfg.scaled(intra_cluster_interleave=interleave),
+            collect_traffic=True,
+        )
+        for name in ("KMN", "CG.S")
+        for interleave in interleaves
+    ]
+    results = iter(executor.map(jobs))
     for name in ("KMN", "CG.S"):
         for interleave in interleaves:
-            r = run_workload(
-                get_spec("GMN"),
-                get_workload(name, scale),
-                cfg=cfg.scaled(intra_cluster_interleave=interleave),
-                collect_traffic=True,
-            )
+            r = next(results)
             overall, intra = _variance_stats(r.traffic_matrix, cfg.gpu.hmcs_per_gpu)
             result.add(
                 workload=name,

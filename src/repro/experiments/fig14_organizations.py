@@ -15,10 +15,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import TABLE_III, get_spec
 from ..system.metrics import RunResult, geometric_mean
-from ..system.run import run_workload
-from ..workloads.suite import WORKLOAD_NAMES, get_workload
+from ..workloads.suite import WORKLOAD_NAMES
 from .common import ExperimentResult
 
 ARCHS = list(TABLE_III)
@@ -28,8 +28,10 @@ def run(
     scale: float = 0.25,
     workloads: Optional[Sequence[str]] = None,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     workloads = list(workloads or WORKLOAD_NAMES)
     result = ExperimentResult(
         "Fig. 14",
@@ -39,21 +41,25 @@ def run(
             "3.5x avg; CMN/CMN-ZC 1.8x/2.2x; GMN-ZC == PCIe-ZC"
         ),
     )
+    jobs = [
+        SweepJob.make(get_spec(arch), WorkloadRef(name, scale), cfg)
+        for name in workloads
+        for arch in ARCHS
+    ]
     by_arch: Dict[str, Dict[str, RunResult]] = {a: {} for a in ARCHS}
-    for name in workloads:
-        for arch in ARCHS:
-            r = run_workload(get_spec(arch), get_workload(name, scale), cfg=cfg)
-            by_arch[arch][name] = r
-            result.add(
-                workload=name,
-                arch=arch,
-                kernel_us=r.kernel_ps / 1e6,
-                memcpy_us=r.memcpy_ps / 1e6,
-                # Fig. 14 reports kernel + memcpy; host time is Fig. 18's
-                # metric and is shown here for reference only.
-                total_us=(r.kernel_ps + r.memcpy_ps) / 1e6,
-                host_us=r.host_ps / 1e6,
-            )
+    for job, r in zip(jobs, executor.map(jobs)):
+        name, arch = job.workload.name, job.spec.name
+        by_arch[arch][name] = r
+        result.add(
+            workload=name,
+            arch=arch,
+            kernel_us=r.kernel_ps / 1e6,
+            memcpy_us=r.memcpy_ps / 1e6,
+            # Fig. 14 reports kernel + memcpy; host time is Fig. 18's
+            # metric and is shown here for reference only.
+            total_us=(r.kernel_ps + r.memcpy_ps) / 1e6,
+            host_us=r.host_ps / 1e6,
+        )
 
     def _total(arch: str, w: str) -> int:
         r = by_arch[arch][w]

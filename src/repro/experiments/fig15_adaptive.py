@@ -11,9 +11,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 #: (workload, scale): CG.S needs its full (imbalanced) footprint.
@@ -27,8 +26,10 @@ DEFAULT_POINTS: Sequence[Tuple[str, float]] = (
 def run(
     points: Sequence[Tuple[str, float]] = DEFAULT_POINTS,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Fig. 15",
         "MIN vs UGAL routing on dDFLY and dFBFLY (GMN)",
@@ -36,14 +37,22 @@ def run(
             "~1-2% for uniform workloads (KMN, CP); 9.5% for CG.S on dFBFLY"
         ),
     )
+    jobs = [
+        SweepJob.make(
+            get_spec("GMN").with_(topology=topology, routing=routing),
+            WorkloadRef(name, scale),
+            cfg,
+        )
+        for topology in ("ddfly", "dfbfly")
+        for name, scale in points
+        for routing in ("min", "ugal")
+    ]
+    results = iter(executor.map(jobs))
     for topology in ("ddfly", "dfbfly"):
-        for name, scale in points:
-            runtimes: Dict[str, int] = {}
-            for routing in ("min", "ugal"):
-                spec = get_spec("GMN").with_(topology=topology, routing=routing)
-                runtimes[routing] = run_workload(
-                    spec, get_workload(name, scale), cfg=cfg
-                ).kernel_ps
+        for name, _scale in points:
+            runtimes: Dict[str, int] = {
+                routing: next(results).kernel_ps for routing in ("min", "ugal")
+            }
             gain = 100 * (runtimes["min"] - runtimes["ugal"]) / runtimes["min"]
             result.add(
                 topology=topology,

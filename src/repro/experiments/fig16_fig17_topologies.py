@@ -12,10 +12,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import geometric_mean
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 TOPOLOGIES = ("smesh", "storus", "smesh-2x", "storus-2x", "sfbfly")
@@ -26,8 +25,10 @@ def run(
     scale: float = 0.25,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Fig. 16 / Fig. 17",
         "Sliced topologies on the GMN: kernel runtime and network energy",
@@ -36,22 +37,27 @@ def run(
             "50.7% less than sMESH for BP, 20.3% avg)"
         ),
     )
+    jobs = [
+        SweepJob.make(
+            get_spec("GMN").with_(topology=topology), WorkloadRef(name, scale), cfg
+        )
+        for name in workloads
+        for topology in TOPOLOGIES
+    ]
     energies: Dict[str, Dict[str, float]] = {t: {} for t in TOPOLOGIES}
     runtimes: Dict[str, Dict[str, int]] = {t: {} for t in TOPOLOGIES}
-    for name in workloads:
-        for topology in TOPOLOGIES:
-            spec = get_spec("GMN").with_(topology=topology)
-            r = run_workload(spec, get_workload(name, scale), cfg=cfg)
-            energies[topology][name] = r.energy.total_uj
-            runtimes[topology][name] = r.kernel_ps
-            result.add(
-                workload=name,
-                topology=topology,
-                kernel_us=r.kernel_ps / 1e6,
-                avg_hops=round(r.avg_hops, 2),
-                energy_uj=r.energy.total_uj,
-                active_uj=r.energy.active_pj / 1e6,
-            )
+    for job, r in zip(jobs, executor.map(jobs)):
+        name, topology = job.workload.name, job.spec.topology
+        energies[topology][name] = r.energy.total_uj
+        runtimes[topology][name] = r.kernel_ps
+        result.add(
+            workload=name,
+            topology=topology,
+            kernel_us=r.kernel_ps / 1e6,
+            avg_hops=round(r.avg_hops, 2),
+            energy_uj=r.energy.total_uj,
+            active_uj=r.energy.active_pj / 1e6,
+        )
 
     perf_vs_mesh = geometric_mean(
         [runtimes["smesh"][w] / runtimes["sfbfly"][w] for w in workloads]

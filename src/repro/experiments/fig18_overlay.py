@@ -13,9 +13,8 @@ import dataclasses
 from typing import Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 DESIGNS = ("smesh", "sfbfly", "overlay")
@@ -25,19 +24,28 @@ def run(
     scale: float = 1.0,
     workloads: Sequence[str] = ("CG.S", "FT.S"),
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
     cfg = dataclasses.replace(cfg, num_gpus=3)  # 1CPU-3GPU-16HMC
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Fig. 18",
         "Host-thread performance on UMN designs (1CPU-3GPU-16HMC)",
         paper_note="overlay > sFBFLY > sMESH for CG.S and FT.S host threads",
     )
-    for name in workloads:
+    jobs = [
+        SweepJob.make(
+            get_spec("UMN").with_(topology=topology), WorkloadRef(name, scale), cfg
+        )
+        for name in workloads
+        for topology in DESIGNS
+    ]
+    results = executor.map(jobs)
+    for i, name in enumerate(workloads):
         baseline = None
-        for topology in DESIGNS:
-            spec = get_spec("UMN").with_(topology=topology)
-            r = run_workload(spec, get_workload(name, scale), cfg=cfg)
+        for j, topology in enumerate(DESIGNS):
+            r = results[i * len(DESIGNS) + j]
             if baseline is None:
                 baseline = r.host_ps
             result.add(

@@ -16,10 +16,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import geometric_mean
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 #: Input scale per workload (FWT deliberately small, per the paper).
@@ -40,9 +39,11 @@ def run(
     scales: Optional[Dict[str, float]] = None,
     gpu_counts: Sequence[int] = GPU_COUNTS,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     base_cfg = cfg or SystemConfig()
     scales = scales or DEFAULT_SCALES
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Fig. 19",
         "Kernel speedup vs number of GPUs (UMN, sFBFLY)",
@@ -51,13 +52,20 @@ def run(
             "FWT lowest at 11.2x"
         ),
     )
+    jobs = [
+        SweepJob.make(
+            get_spec("UMN"), WorkloadRef(name, scale), base_cfg.scaled(num_gpus=n)
+        )
+        for name, scale in scales.items()
+        for n in gpu_counts
+    ]
+    results = executor.map(jobs)
     final: Dict[str, float] = {}
-    for name, scale in scales.items():
+    for i, name in enumerate(scales):
         workload_base = None
         row = {"workload": name}
-        for n in gpu_counts:
-            cfg_n = base_cfg.scaled(num_gpus=n)
-            r = run_workload(get_spec("UMN"), get_workload(name, scale), cfg=cfg_n)
+        for j, n in enumerate(gpu_counts):
+            r = results[i * len(gpu_counts) + j]
             if workload_base is None:
                 workload_base = r.kernel_ps
             row[f"x{n}"] = round(workload_base / r.kernel_ps, 2)

@@ -11,10 +11,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
+from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import RunResult, geometric_mean
-from ..system.run import run_workload
-from ..workloads.suite import get_workload
 from .common import ExperimentResult
 
 POLICIES = ("static", "round_robin", "stealing")
@@ -25,8 +24,10 @@ def run(
     scale: float = 0.5,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     cfg: Optional[SystemConfig] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     cfg = cfg or SystemConfig()
+    executor = executor or default_executor()
     result = ExperimentResult(
         "Sec. III-B",
         "CTA assignment: static chunks vs round-robin vs stealing (UMN)",
@@ -35,11 +36,17 @@ def run(
             "max; stealing < 1%"
         ),
     )
+    jobs = [
+        SweepJob.make(
+            get_spec("UMN").with_(cta_policy=policy), WorkloadRef(name, scale), cfg
+        )
+        for name in workloads
+        for policy in POLICIES
+    ]
     runs: Dict[str, Dict[str, RunResult]] = {p: {} for p in POLICIES}
+    for job, r in zip(jobs, executor.map(jobs)):
+        runs[job.spec.cta_policy][job.workload.name] = r
     for name in workloads:
-        for policy in POLICIES:
-            spec = get_spec("UMN").with_(cta_policy=policy)
-            runs[policy][name] = run_workload(spec, get_workload(name, scale), cfg=cfg)
         s, rr = runs["static"][name], runs["round_robin"][name]
         result.add(
             workload=name,

@@ -43,13 +43,19 @@ from .topology import Topology
 FLIT_BYTES = 16
 
 
-@dataclass
 class _Flit:
-    packet: Packet
-    is_head: bool
-    is_tail: bool
-    #: Ejection router chosen at injection (terminal destinations).
-    dst_router: int = -1
+    """One channel-width slice of a packet (slotted: created per 16 B)."""
+
+    __slots__ = ("packet", "is_head", "is_tail", "dst_router")
+
+    def __init__(
+        self, packet: Packet, is_head: bool, is_tail: bool, dst_router: int = -1
+    ) -> None:
+        self.packet = packet
+        self.is_head = is_head
+        self.is_tail = is_tail
+        #: Ejection router chosen at injection (terminal destinations).
+        self.dst_router = dst_router
 
 
 class _VC:
@@ -99,15 +105,27 @@ class FlitNetwork:
         # Input unit per (router, channel_key): list of VCs.
         # channel_key: a Channel object (router-router or terminal link).
         self._inputs: Dict[Tuple[int, object], List[_VC]] = {}
+        # Hot-path mirror of ``_inputs``: units in registration order, the
+        # arbitration order the per-cycle scans must preserve.  The active
+        # set tracks which units hold buffered flits so idle routers cost
+        # nothing per cycle (index -> position in ``_input_units``).
+        self._input_units: List[Tuple[Tuple[int, object], List[_VC]]] = []
+        self._input_index: Dict[Tuple[int, object], int] = {}
+        self._occupancy: List[int] = []
+        self._active_inputs: set = set()
         # Credits the *sender* holds for each (channel, vc).
         self._credits: Dict[Tuple[object, int], int] = {}
         # Which (channel, vc) are currently owned by an in-flight packet.
         self._vc_owner: Dict[Tuple[object, int], Packet] = {}
-        # Flits in the air: arrival_cycle -> list of (router, channel, vc, flit).
-        self._in_air: Dict[int, List[Tuple[int, object, int, _Flit]]] = {}
+        # Flits in the air: arrival_cycle -> list of (input_idx, vc, flit).
+        self._in_air: Dict[int, List[Tuple[int, int, _Flit]]] = {}
         # Packet reassembly at destinations.
         self._pending_source: Deque[Tuple[Packet, object, int]] = collections.deque()
         self._source_queues: Dict[Tuple[object, int], Deque[_Flit]] = {}
+        # Router-local loopback injection ports (HMC responses) and the
+        # per-source allocated VC, keyed by source-channel identity.
+        self._local_ports: Dict[int, Channel] = {}
+        self._source_vcs: Dict[object, Optional[int]] = {}
 
         self._cycle = 0
         self._running = False
@@ -128,7 +146,11 @@ class FlitNetwork:
         if isinstance(dst, int):
             key = (dst, ch)
             if key not in self._inputs:
-                self._inputs[key] = [_VC(self._vc_flits) for _ in range(self._num_vcs)]
+                vcs = [_VC(self._vc_flits) for _ in range(self._num_vcs)]
+                self._inputs[key] = vcs
+                self._input_index[key] = len(self._input_units)
+                self._input_units.append((key, vcs))
+                self._occupancy.append(0)
         for vc in range(self._num_vcs):
             self._credits[(ch, vc)] = self._vc_flits
 
@@ -209,10 +231,15 @@ class FlitNetwork:
 
     def _tick(self) -> None:
         self._cycle += 1
+        # All flits that move this cycle arrive together ``_hop_cycles``
+        # later; one shared bucket replaces a per-flit dict setdefault.
+        bucket: List[Tuple[int, int, _Flit]] = []
         self._deliver_in_air()
         self._route_heads()
-        self._forward_flits()
-        self._drain_sources()
+        self._forward_flits(bucket)
+        self._drain_sources(bucket)
+        if bucket:
+            self._in_air[self._cycle + self._hop_cycles] = bucket
         if self._active_flits > 0 or self._in_air:
             self.sim.after(self._cycle_ps, self._tick)
         else:
@@ -222,12 +249,22 @@ class FlitNetwork:
         arrivals = self._in_air.pop(self._cycle, None)
         if not arrivals:
             return
-        for router, channel, vc, flit in arrivals:
-            self._inputs[(router, channel)][vc].fifo.append(flit)
+        units = self._input_units
+        occupancy = self._occupancy
+        active = self._active_inputs
+        for idx, vc, flit in arrivals:
+            units[idx][1][vc].fifo.append(flit)
+            occupancy[idx] += 1
+            active.add(idx)
 
     # -- route computation for waiting head flits -------------------------
     def _route_heads(self) -> None:
-        for (router, channel), vcs in self._inputs.items():
+        units = self._input_units
+        # sorted() restores registration order — the arbitration order the
+        # exhaustive dict scan used to give — while touching only inputs
+        # that actually hold flits.
+        for idx in sorted(self._active_inputs):
+            (router, _channel), vcs = units[idx]
             for vc_state in vcs:
                 if not vc_state.fifo or vc_state.route_out is not None:
                     continue
@@ -254,12 +291,17 @@ class FlitNetwork:
         raise SimulationError(f"{terminal} not attached to router {router}")
 
     # -- switch traversal --------------------------------------------------
-    def _forward_flits(self) -> None:
+    def _forward_flits(self, bucket: List[Tuple[int, int, _Flit]]) -> None:
         # ``width`` flits per output channel per cycle (a width-w channel
-        # aggregates w physical links); iterate inputs round-robin by dict
-        # order (deterministic).
+        # aggregates w physical links); iterate active inputs round-robin
+        # in registration order (deterministic).
         used_outputs: Dict[int, int] = {}
-        for (router, channel), vcs in self._inputs.items():
+        units = self._input_units
+        occupancy = self._occupancy
+        credits = self._credits
+        input_index = self._input_index
+        for idx in sorted(self._active_inputs):
+            (router, channel), vcs = units[idx]
             for in_vc, vc_state in enumerate(vcs):
                 if not vc_state.fifo or vc_state.route_out is None:
                     continue
@@ -268,6 +310,7 @@ class FlitNetwork:
                 if nbr is None:
                     kind, target = out
                     vc_state.fifo.popleft()
+                    occupancy[idx] -= 1
                     self._return_credit(channel, in_vc)
                     self._active_flits -= 1
                     if flit.is_tail:
@@ -275,7 +318,6 @@ class FlitNetwork:
                             self._finish(flit.packet, self._router_handlers.get(target))
                         else:
                             self._finish_eject(flit.packet, target)
-                    if flit.is_tail:
                         vc_state.route_out = None
                         vc_state.out_vc = None
                     continue
@@ -288,24 +330,24 @@ class FlitNetwork:
                     if out_vc is None:
                         continue  # stall: no free VC downstream
                     vc_state.out_vc = out_vc
-                if self._credits[(out_channel, out_vc)] <= 0:
+                if credits[(out_channel, out_vc)] <= 0:
                     continue  # stall: no buffer space downstream
                 # Move the flit.
                 vc_state.fifo.popleft()
-                self._credits[(out_channel, out_vc)] -= 1
+                occupancy[idx] -= 1
+                credits[(out_channel, out_vc)] -= 1
                 self._return_credit(channel, in_vc)
                 used_outputs[id(out_channel)] = used_outputs.get(id(out_channel), 0) + 1
-                out_channel.stats.packets += 0  # byte accounting below
                 out_channel.stats.bytes += FLIT_BYTES
-                arrival = self._cycle + self._hop_cycles
-                self._in_air.setdefault(arrival, []).append(
-                    (nbr, out_channel, out_vc, flit)
-                )
-                flit.packet.hops += 1 if flit.is_head else 0
+                bucket.append((input_index[(nbr, out_channel)], out_vc, flit))
+                if flit.is_head:
+                    out_channel.stats.packets += 1
+                    flit.packet.hops += 1
                 if flit.is_tail:
                     self._vc_owner.pop((out_channel, out_vc), None)
                     vc_state.route_out = None
                     vc_state.out_vc = None
+        self._active_inputs = {i for i in self._active_inputs if occupancy[i]}
 
     def _allocate_vc(self, channel: Channel, packet: Packet) -> Optional[int]:
         base = (
@@ -327,7 +369,7 @@ class FlitNetwork:
             )
 
     # -- injection ---------------------------------------------------------
-    def _drain_sources(self) -> None:
+    def _drain_sources(self, bucket: List[Tuple[int, int, _Flit]]) -> None:
         for key, queue in self._source_queues.items():
             if not queue:
                 continue
@@ -335,19 +377,17 @@ class FlitNetwork:
             if kind == "inj":
                 channel: Channel = target
                 router = channel.dst
-                self._drain_one(queue, channel, router)
+                self._drain_one(queue, channel, router, bucket)
             else:
                 router = target
                 # Router-local source (HMC response): inject through a
                 # virtual local port with its own VC set.
                 channel = self._router_port(router)
-                self._drain_one(queue, channel, router)
+                self._drain_one(queue, channel, router, bucket)
 
     def _router_port(self, router: int) -> Channel:
-        # Lazily create a loopback channel whose dst is the router itself
-        # (the HMC logic layer's local injection port).
-        if not hasattr(self, "_local_ports"):
-            self._local_ports: Dict[int, Channel] = {}
+        # Loopback channel whose dst is the router itself (the HMC logic
+        # layer's local injection port), created on first use.
         port = self._local_ports.get(router)
         if port is None:
             port = Channel(f"local:r{router}", f"hmc{router}", router, self.cfg.channel_gbps)
@@ -355,12 +395,18 @@ class FlitNetwork:
             self._register_channel(port)
         return port
 
-    def _drain_one(self, queue: Deque[_Flit], channel: Channel, router: int) -> None:
+    def _drain_one(
+        self,
+        queue: Deque[_Flit],
+        channel: Channel,
+        router: int,
+        bucket: List[Tuple[int, int, _Flit]],
+    ) -> None:
         # Up to ``width`` flits per source per cycle, subject to downstream
         # credit on the head flit's allocated VC.
         state_key = ("srcvc", id(channel))
-        if not hasattr(self, "_source_vcs"):
-            self._source_vcs: Dict[object, Optional[int]] = {}
+        input_idx = self._input_index[(router, channel)]
+        credits = self._credits
         for _ in range(channel.width):
             if not queue:
                 return
@@ -373,14 +419,14 @@ class FlitNetwork:
                 self._source_vcs[state_key] = vc
             if vc is None:
                 return
-            if self._credits[(channel, vc)] <= 0:
+            if credits[(channel, vc)] <= 0:
                 return
             queue.popleft()
-            self._credits[(channel, vc)] -= 1
+            credits[(channel, vc)] -= 1
             channel.stats.bytes += FLIT_BYTES
-            arrival = self._cycle + self._hop_cycles
-            self._in_air.setdefault(arrival, []).append((router, channel, vc, flit))
+            bucket.append((input_idx, vc, flit))
             if flit.is_head:
+                channel.stats.packets += 1
                 flit.packet.hops += 1
             if flit.is_tail:
                 self._vc_owner.pop((channel, vc), None)

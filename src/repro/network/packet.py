@@ -9,8 +9,13 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+#: ``slots=True`` shrinks per-packet memory and speeds up attribute access
+#: on the flit-network hot path; it needs Python 3.10+.
+_DATACLASS_OPTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class MessageClass(enum.IntEnum):
@@ -46,7 +51,21 @@ class PacketKind(enum.Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+def reset_packet_ids() -> None:
+    """Restart the packet-id sequence (called at the start of every run).
+
+    Packet ids feed the minimal-routing round-robin tie-break
+    (``hops[packet.pid % len(hops)]``), so a run's results depend on the
+    ids its packets receive.  Resetting per run makes every simulation a
+    pure function of its inputs — which is what lets the sweep executor
+    guarantee that serial, parallel, and cached executions produce
+    identical results.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+@dataclass(**_DATACLASS_OPTS)
 class Packet:
     """One message traversing the memory network.
 

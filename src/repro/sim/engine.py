@@ -62,19 +62,31 @@ class Simulator:
         executed = 0
         self._running = True
         profiler = self.profiler
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                if until_ps is not None and self._queue[0][0] > until_ps:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                time_ps, _, fn = heapq.heappop(self._queue)
-                self.now = time_ps
-                if profiler is None:
-                    fn()
-                else:
-                    profiler.record(fn)
-                executed += 1
+            if until_ps is None and max_events is None and profiler is None:
+                # Fast path: no per-event limit/profiler checks.  This loop
+                # executes every event of every simulation — keeping it to a
+                # pop, a store, and a call is a measurable whole-run win.
+                while queue:
+                    entry = pop(queue)
+                    self.now = entry[0]
+                    entry[2]()
+                    executed += 1
+            else:
+                while queue:
+                    if until_ps is not None and queue[0][0] > until_ps:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    time_ps, _, fn = pop(queue)
+                    self.now = time_ps
+                    if profiler is None:
+                        fn()
+                    else:
+                        profiler.record(fn)
+                    executed += 1
         finally:
             self._running = False
         self._events_executed += executed

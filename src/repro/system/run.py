@@ -14,6 +14,7 @@ from typing import List, Optional
 from ..config import SystemConfig
 from ..core.virtual_gpu import VirtualGPU
 from ..errors import SimulationError
+from ..network.packet import reset_packet_ids
 from ..obs.bind import Observability
 from ..workloads.base import HostStep, KernelStep, Workload
 from .builder import MultiGPUSystem
@@ -74,6 +75,10 @@ def run_workload_detailed(
     :class:`~repro.system.builder.MultiGPUSystem` for post-run inspection
     (e.g. :func:`repro.system.report.system_report`)."""
     cfg = cfg or SystemConfig()
+    # Restart the packet-id sequence so every run is a pure function of
+    # (spec, workload, cfg) regardless of what ran earlier in the process
+    # — the invariant the sweep executor and result cache rely on.
+    reset_packet_ids()
     system = MultiGPUSystem(spec, cfg, obs=obs)
     system.install_page_table(
         policy=placement_policy,

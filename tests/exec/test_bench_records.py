@@ -1,0 +1,37 @@
+"""BENCH_*.json records: schema, naming, and the CLI hook."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec import bench_name_for_module, bench_record, code_version, write_bench
+
+
+def test_bench_record_schema():
+    record = bench_record("fig14", 1.2345, jobs=4, rows=98)
+    assert record["bench"] == "fig14"
+    assert record["wall_clock_s"] == 1.2345
+    assert record["jobs"] == 4
+    assert record["rows"] == 98
+    assert record["code_version"] == code_version()
+    assert isinstance(record["timestamp"], int)
+
+
+def test_bench_record_defaults_and_extra():
+    record = bench_record("x", 0.5, extra={"note": "hi"})
+    assert record["jobs"] == 1 and record["rows"] is None
+    assert record["note"] == "hi"
+
+
+def test_write_bench(tmp_path):
+    path = write_bench("fig14", 2.0, directory=str(tmp_path), jobs=2, rows=10)
+    assert path == tmp_path / "BENCH_fig14.json"
+    record = json.loads(path.read_text())
+    assert record["bench"] == "fig14" and record["jobs"] == 2
+
+
+def test_bench_name_for_module():
+    assert bench_name_for_module("bench_fig14_organizations") == "fig14"
+    assert bench_name_for_module("bench_fig16_topologies") == "fig16"
+    assert bench_name_for_module("bench_ext_pcn_flit") == "ext_pcn"
+    assert bench_name_for_module("bench_sec3b_scheduler") == "sec3b"

@@ -1,0 +1,106 @@
+"""Cache keys and the result cache.
+
+The cache is only sound if a job's key captures everything the simulation
+depends on: the spec, the full config, the workload reference, extra
+run_workload kwargs, and the code itself.  These tests pin that down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exec import (
+    ResultCache,
+    SweepJob,
+    WorkloadRef,
+    code_version,
+    job_fingerprint,
+    job_key,
+)
+from repro.system.configs import get_spec
+from repro.system.metrics import RunResult
+
+from tests.conftest import tiny_system_config
+
+
+def _job(**overrides) -> SweepJob:
+    spec = overrides.pop("spec", get_spec("GMN"))
+    workload = overrides.pop("workload", WorkloadRef("KMN", 0.1))
+    cfg = overrides.pop("cfg", tiny_system_config())
+    return SweepJob.make(spec, workload, cfg, **overrides)
+
+
+def test_same_job_same_key():
+    assert job_key(_job()) == job_key(_job())
+
+
+def test_spec_change_changes_key():
+    assert job_key(_job()) != job_key(_job(spec=get_spec("UMN")))
+    assert job_key(_job()) != job_key(
+        _job(spec=get_spec("GMN").with_(topology="smesh"))
+    )
+
+
+def test_config_change_changes_key():
+    cfg = tiny_system_config()
+    nudged = dataclasses.replace(
+        cfg, network=dataclasses.replace(cfg.network, serdes_ps=cfg.network.serdes_ps + 1)
+    )
+    assert job_key(_job(cfg=cfg)) != job_key(_job(cfg=nudged))
+
+
+def test_workload_scale_changes_key():
+    assert job_key(_job(workload=WorkloadRef("KMN", 0.1))) != job_key(
+        _job(workload=WorkloadRef("KMN", 0.2))
+    )
+    assert job_key(_job(workload=WorkloadRef("KMN", 0.1))) != job_key(
+        _job(workload=WorkloadRef("BP", 0.1))
+    )
+
+
+def test_run_kwargs_change_key():
+    assert job_key(_job()) != job_key(_job(placement_policy="first_touch"))
+
+
+def test_tag_is_not_part_of_identity():
+    assert job_key(_job(tag="a")) == job_key(_job(tag="b"))
+
+
+def test_fingerprint_includes_code_version():
+    fp = job_fingerprint(_job())
+    assert fp["code"] == code_version()
+    assert len(code_version()) == 16
+
+
+def test_memory_cache_roundtrip():
+    cache = ResultCache()
+    job = _job()
+    assert cache.get(job) is None
+    result = RunResult(workload="KMN", arch="GMN")
+    result.kernel_ps = 1234
+    cache.put(job, result)
+    hit = cache.get(job)
+    assert hit is not None and hit.kernel_ps == 1234
+    # A fresh copy per hit: mutating a hit can't corrupt the cache.
+    hit.kernel_ps = 0
+    assert cache.get(job).kernel_ps == 1234
+    assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
+def test_disk_cache_survives_new_instance(tmp_path):
+    job = _job()
+    result = RunResult(workload="KMN", arch="GMN")
+    result.kernel_ps = 777
+    ResultCache(str(tmp_path)).put(job, result)
+    fresh = ResultCache(str(tmp_path))
+    hit = fresh.get(job)
+    assert hit is not None and hit.kernel_ps == 777
+
+
+def test_clear_empties_memory_and_disk(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_job(), RunResult(workload="KMN", arch="GMN"))
+    assert len(cache) == 1 and list(tmp_path.glob("*.pkl"))
+    cache.clear()
+    assert len(cache) == 0 and not list(tmp_path.glob("*.pkl"))
+    assert cache.get(_job()) is None

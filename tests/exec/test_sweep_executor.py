@@ -1,0 +1,113 @@
+"""SweepExecutor: ordering, env fallback, cache integration, runtime defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exec import (
+    ResultCache,
+    SweepExecutor,
+    SweepJob,
+    WorkloadRef,
+    default_executor,
+    execute_job,
+    jobs_from_env,
+    sweep_defaults,
+)
+from repro.system.configs import get_spec
+
+from tests.conftest import tiny_system_config
+
+
+def _jobs(n=3):
+    cfg = tiny_system_config(num_gpus=2, num_sms=2)
+    names = ("BP", "KMN", "CP", "STO")
+    return [
+        SweepJob.make(get_spec("GMN"), WorkloadRef(names[i % len(names)], 0.05), cfg)
+        for i in range(n)
+    ]
+
+
+def test_jobs_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert jobs_from_env() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert jobs_from_env() == 6
+    monkeypatch.setenv("REPRO_JOBS", "garbage")
+    assert jobs_from_env(default=2) == 2
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert jobs_from_env() == 1  # clamped to serial, not an error
+
+
+def test_executor_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert SweepExecutor().jobs == 3
+    assert SweepExecutor(jobs=1).jobs == 1  # explicit beats env
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ConfigError):
+        SweepExecutor(jobs=0)
+
+
+def test_serial_results_in_submission_order():
+    jobs = _jobs(3)
+    results = SweepExecutor(jobs=1).map(jobs)
+    assert [r.workload for r in results] == [j.workload.name for j in jobs]
+
+
+def test_parallel_results_match_serial():
+    jobs = _jobs(4)
+    serial = SweepExecutor(jobs=1).map(jobs)
+    parallel = SweepExecutor(jobs=2).map(jobs)
+    assert [r.as_row() for r in serial] == [r.as_row() for r in parallel]
+
+
+def test_cache_short_circuits_repeats():
+    cache = ResultCache()
+    executor = SweepExecutor(jobs=1, cache=cache)
+    jobs = _jobs(2)
+    first = executor.map(jobs)
+    assert cache.stats.misses == 2 and cache.stats.stores == 2
+    second = executor.map(jobs)
+    assert cache.stats.hits == 2
+    assert [r.as_row() for r in first] == [r.as_row() for r in second]
+
+
+def test_cached_rows_match_uncached():
+    jobs = _jobs(3)
+    plain = SweepExecutor(jobs=1).map(jobs)
+    cached = SweepExecutor(jobs=1, cache=ResultCache()).map(jobs)
+    assert [r.as_row() for r in plain] == [r.as_row() for r in cached]
+
+
+def test_execute_job_applies_run_kwargs():
+    cfg = tiny_system_config(num_gpus=2, num_sms=2)
+    job = SweepJob.make(
+        get_spec("GMN"), WorkloadRef("VEC", 0.05), cfg, num_active_gpus=1
+    )
+    assert execute_job(job).workload == "vectorAdd"
+
+
+def test_sweep_defaults_scopes_executor():
+    cache = ResultCache()
+    with sweep_defaults(jobs=2, cache=cache):
+        ex = default_executor()
+        assert ex.jobs == 2 and ex.cache is cache
+    assert default_executor().cache is not cache
+
+
+def test_workload_ref_factory_roundtrip():
+    ref = WorkloadRef(
+        "vectoradd",
+        factory="repro.workloads.vectoradd:make_vectoradd",
+        kwargs=(("num_ctas", 4), ("lines_per_cta", 2)),
+    )
+    workload = ref.build()
+    assert workload.name == "vectorAdd"
+
+
+def test_workload_ref_bad_factory():
+    with pytest.raises(ValueError):
+        WorkloadRef("x", factory="not-a-factory").build()

@@ -1,0 +1,50 @@
+"""The correctness bar: serial, parallel, and cached sweeps are identical.
+
+Runs a reduced Fig. 14 sweep three ways and compares the rendered
+experiment rows — not just summary scalars — so any divergence in any
+metric fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.exec import ResultCache, SweepExecutor
+from repro.experiments import fig14_organizations
+
+from tests.conftest import tiny_system_config
+
+WORKLOADS = ("VEC", "BP")
+SCALE = 0.05
+
+
+def _rows(executor):
+    cfg = tiny_system_config(num_gpus=2, num_sms=2)
+    result = fig14_organizations.run(
+        scale=SCALE, workloads=WORKLOADS, cfg=cfg, executor=executor
+    )
+    return result.rows, result.notes
+
+
+def test_serial_parallel_cached_rows_identical():
+    serial_rows, serial_notes = _rows(SweepExecutor(jobs=1))
+    parallel_rows, parallel_notes = _rows(SweepExecutor(jobs=2))
+    assert parallel_rows == serial_rows
+    assert parallel_notes == serial_notes
+
+    cache = ResultCache()
+    cached_first, _ = _rows(SweepExecutor(jobs=1, cache=cache))
+    assert cached_first == serial_rows
+    assert cache.stats.misses > 0 and cache.stats.hits == 0
+    # Second pass is served entirely from the cache, rows unchanged.
+    cached_second, notes = _rows(SweepExecutor(jobs=1, cache=cache))
+    assert cached_second == serial_rows
+    assert notes == serial_notes
+    assert cache.stats.misses == cache.stats.stores
+    assert cache.stats.hits == len(WORKLOADS) * len(fig14_organizations.ARCHS)
+
+
+def test_repeated_serial_runs_identical():
+    # The determinism reset_packet_ids guarantees: running the same sweep
+    # twice in one process yields the same rows.
+    first, _ = _rows(SweepExecutor(jobs=1))
+    second, _ = _rows(SweepExecutor(jobs=1))
+    assert first == second

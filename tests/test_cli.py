@@ -119,3 +119,53 @@ class TestRunCommand:
     def test_run_rejects_unknown_arch(self):
         with pytest.raises(SystemExit):
             main(["run", "KMN", "--arch", "NVLINK"])
+
+
+class TestPerfFlags:
+    @pytest.fixture(autouse=True)
+    def _reset_exec_defaults(self):
+        from repro.exec import runtime as exec_runtime
+
+        yield
+        exec_runtime.set_default_jobs(None)
+        exec_runtime.set_default_cache(None)
+
+    def test_jobs_flag_installs_default(self, capsys):
+        from repro.exec import runtime as exec_runtime
+
+        assert main(["fig12", "--jobs", "2"]) == 0
+        assert exec_runtime.get_default_jobs() == 2
+
+    def test_jobs_rejects_zero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig12", "--jobs", "0"])
+        assert "worker count" in capsys.readouterr().err
+
+    def test_cache_flag_installs_memory_cache(self, capsys):
+        from repro.exec import runtime as exec_runtime
+
+        assert main(["fig12", "--cache"]) == 0
+        cache = exec_runtime.get_default_cache()
+        assert cache is not None and cache.path is None
+
+    def test_cache_flag_with_dir(self, tmp_path, capsys):
+        from repro.exec import runtime as exec_runtime
+
+        assert main(["fig12", "--cache", str(tmp_path / "c")]) == 0
+        cache = exec_runtime.get_default_cache()
+        assert cache is not None and cache.path is not None
+
+    def test_bench_json_writes_record(self, tmp_path, capsys):
+        import json
+
+        assert main(["fig12", "--bench-json", str(tmp_path)]) == 0
+        record = json.loads((tmp_path / "BENCH_fig12.json").read_text())
+        assert record["bench"] == "fig12" and record["wall_clock_s"] >= 0
+
+    def test_obs_flags_force_serial(self, tmp_path, capsys):
+        from repro.exec import runtime as exec_runtime
+
+        trace = tmp_path / "t.json"
+        assert main(["fig12", "--jobs", "2", "--trace", str(trace)]) == 0
+        assert "running serially" in capsys.readouterr().err
+        assert exec_runtime.get_default_jobs() == 1
