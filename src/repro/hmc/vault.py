@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import HMCConfig
 from ..errors import SimulationError
@@ -88,9 +88,15 @@ class Vault:
     def _kick(self) -> None:
         self._kick_at = None
         self._drain_overflow()
+        # Per-kick snapshot of bank state: sim.now is constant across the
+        # issue loop and a bank's readiness/open row only changes when this
+        # loop issues to it, so (ready, open_row) is computed once per bank
+        # per kick instead of once per candidate per issue iteration, and
+        # refreshed only for the bank that was just issued to.
+        bank_state: Dict[int, Tuple[bool, Optional[int]]] = {}
         progressed = True
         while progressed and self.queue:
-            progressed = self._try_issue()
+            progressed = self._try_issue(bank_state)
         self._drain_overflow()
         if self.queue:
             horizon = min(
@@ -103,23 +109,34 @@ class Vault:
         while self.overflow and len(self.queue) < self.cfg.vault_queue_entries:
             self.queue.append(self.overflow.popleft())
 
-    def _try_issue(self) -> bool:
-        """Issue the FR-FCFS-preferred request if one is ready now."""
+    def _try_issue(self, bank_state: Dict[int, Tuple[bool, Optional[int]]]) -> bool:
+        """Issue the FR-FCFS-preferred request if one is ready now.
+
+        ``bank_state`` caches ``(ready_now, open_row)`` per bank for the
+        duration of one kick; an entry is dropped (and lazily recomputed)
+        when a request is issued to that bank.
+        """
+        now = self.sim.now
+        banks = self.banks
         best_idx: Optional[int] = None
         best_key: Optional[Tuple[int, int, int]] = None
         for idx, req in enumerate(self.queue):
             decoded = req.access.decoded
-            bank = self.banks[decoded.bank]
-            ready = bank.earliest_issue(self.sim.now)
-            if ready > self.sim.now:
+            state = bank_state.get(decoded.bank)
+            if state is None:
+                bank = banks[decoded.bank]
+                state = (bank.earliest_issue(now) <= now, bank.open_row)
+                bank_state[decoded.bank] = state
+            if not state[0]:
                 continue
-            is_hit = 0 if bank.classify(decoded.row) is RowOutcome.HIT else 1
+            is_hit = 0 if state[1] == decoded.row else 1
             key = (is_hit, req.arrived_ps, idx)
             if best_key is None or key < best_key:
                 best_key, best_idx = key, idx
         if best_idx is None:
             return False
         req = self.queue.pop(best_idx)
+        bank_state.pop(req.access.decoded.bank, None)
         self._service(req)
         return True
 
