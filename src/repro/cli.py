@@ -51,6 +51,11 @@ from .workloads.suite import WORKLOAD_NAMES, get_workload
 #: Experiments whose runner takes a ``scale`` parameter.
 _SCALED = {"fig10", "fig14", "fig16", "fig17", "fig18", "sec3b", "ext-mapping"}
 
+#: CLI commands whose bench record name differs from the command; keeps
+#: ``BENCH_*.json`` names aligned with the benchmark-harness modules
+#: (``bench_fig07_remote_access`` records ``fig07``).
+_BENCH_ALIAS = {"fig7": "fig07"}
+
 
 def _make_obs(args) -> Optional[Observability]:
     """Build the observability bundle an argv namespace asks for."""
@@ -200,7 +205,11 @@ def _run_experiment(
         print(f"[saved to {save}]")
     if bench_json:
         path = write_bench(
-            name, wall, directory=bench_json, jobs=jobs, rows=len(result.rows)
+            _BENCH_ALIAS.get(name, name),
+            wall,
+            directory=bench_json,
+            jobs=jobs,
+            rows=len(result.rows),
         )
         print(f"[bench record -> {path}]")
 

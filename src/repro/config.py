@@ -96,6 +96,29 @@ class DRAMTiming:
     tWR: int = 12
     tRAS: int = 22
 
+    # Derived picosecond latencies (set in __post_init__).  Bank.access runs
+    # once per DRAM command, so the per-command cycle sums and tCK
+    # multiplications are hoisted here.
+    hit_ps: int = field(init=False, repr=False, compare=False)
+    empty_ps: int = field(init=False, repr=False, compare=False)
+    conflict_ps: int = field(init=False, repr=False, compare=False)
+    conflict_wr_ps: int = field(init=False, repr=False, compare=False)
+    ccd_ps: int = field(init=False, repr=False, compare=False)
+    ras_ps: int = field(init=False, repr=False, compare=False)
+    cl_ps: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        ps = self.ps
+        object.__setattr__(self, "hit_ps", ps(self.tCL))
+        object.__setattr__(self, "empty_ps", ps(self.tRCD + self.tCL))
+        object.__setattr__(self, "conflict_ps", ps(self.tRP + self.tRCD + self.tCL))
+        object.__setattr__(
+            self, "conflict_wr_ps", ps(self.tWR + self.tRP + self.tRCD + self.tCL)
+        )
+        object.__setattr__(self, "ccd_ps", ps(self.tCCD))
+        object.__setattr__(self, "ras_ps", ps(self.tRAS))
+        object.__setattr__(self, "cl_ps", ps(self.tCL))
+
     @property
     def tRC(self) -> int:
         """Minimum time between activates to the same bank."""
@@ -121,6 +144,11 @@ class HMCConfig:
     #: Internal vault data bus width in bytes per DRAM cycle.
     vault_bus_bytes_per_cycle: int = 16
     num_channels: int = 8
+    #: Use the bucketed FR-FCFS scheduler fast path (per-bank request
+    #: queues + per-kick bank-state snapshot).  ``False`` selects the
+    #: reference flat-queue scan; both produce identical schedules (the
+    #: identity tests in ``tests/exec`` hold that bar).
+    frfcfs_fast_scan: bool = True
 
     @property
     def bytes_per_vault(self) -> int:
@@ -147,6 +175,11 @@ class NetworkConfig:
     vc_buffer_bytes: int = 512
     #: Read/write request header size (HMC-style packetized interface).
     header_bytes: int = 16
+    #: Use frozen-topology route tables (cached injection/ejection
+    #: choices, destination-router estimates, and attachment lookups) in
+    #: the packet-level network.  ``False`` recomputes every routing
+    #: decision from scratch; results are byte-identical either way.
+    route_cache: bool = True
 
     @property
     def hop_latency_ps(self) -> int:

@@ -54,6 +54,13 @@ class AddressMapping:
 
     # Derived bit widths / shifts, computed in __post_init__.
     _fields: Tuple[Tuple[str, int, int], ...] = field(init=False, repr=False)
+    #: name -> (shift, bits, mask); decode/extract run once per memory
+    #: access, so the per-call field scan is replaced by dict/tuple lookups.
+    _field_map: Dict[str, Tuple[int, int, int]] = field(
+        init=False, repr=False, compare=False
+    )
+    #: Flat (shift, mask) pairs for CT, LC, VL, BK, RW in decode order.
+    _decode_sm: Tuple[int, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         by_bits = _log2_exact(self.byte_block, "byte block")
@@ -96,18 +103,35 @@ class AddressMapping:
             fields.append((name, shift, widths[name]))
             shift += widths[name]
         object.__setattr__(self, "_fields", tuple(fields))
+        field_map = {
+            name: (shift, bits, (1 << bits) - 1) for name, shift, bits in fields
+        }
+        object.__setattr__(self, "_field_map", field_map)
+        object.__setattr__(
+            self,
+            "_decode_sm",
+            tuple(
+                v
+                for name in ("CT", "LC", "VL", "BK", "RW")
+                for v in (field_map[name][0], field_map[name][2])
+            ),
+        )
 
     # ------------------------------------------------------------------
     def field_info(self, name: str) -> Tuple[int, int]:
         """(shift, width) of a named field."""
-        for fname, shift, bits in self._fields:
-            if fname == name:
-                return shift, bits
-        raise AddressError(f"unknown address field {name!r}")
+        try:
+            shift, bits, _ = self._field_map[name]
+        except KeyError:
+            raise AddressError(f"unknown address field {name!r}") from None
+        return shift, bits
 
     def extract(self, paddr: int, name: str) -> int:
-        shift, bits = self.field_info(name)
-        return (paddr >> shift) & ((1 << bits) - 1)
+        try:
+            shift, _, mask = self._field_map[name]
+        except KeyError:
+            raise AddressError(f"unknown address field {name!r}") from None
+        return (paddr >> shift) & mask
 
     @property
     def total_bits(self) -> int:
@@ -123,7 +147,8 @@ class AddressMapping:
         """Decode a physical address into its memory-system coordinates."""
         if paddr < 0:
             raise AddressError(f"negative physical address {paddr}")
-        cluster = self.extract(paddr, "CT")
+        sm = self._decode_sm
+        cluster = (paddr >> sm[0]) & sm[1]
         if cluster >= self.num_clusters:
             raise AddressError(
                 f"address 0x{paddr:x} decodes to cluster {cluster} "
@@ -131,10 +156,10 @@ class AddressMapping:
             )
         return DecodedAddress(
             cluster=cluster,
-            local_hmc=self.extract(paddr, "LC"),
-            vault=self.extract(paddr, "VL"),
-            bank=self.extract(paddr, "BK"),
-            row=self.extract(paddr, "RW"),
+            local_hmc=(paddr >> sm[2]) & sm[3],
+            vault=(paddr >> sm[4]) & sm[5],
+            bank=(paddr >> sm[6]) & sm[7],
+            row=(paddr >> sm[8]) & sm[9],
         )
 
     def compose(

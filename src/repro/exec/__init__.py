@@ -15,7 +15,14 @@ Correctness bar: serial, parallel, and cached executions of the same
 sweep produce identical rows (every run is a pure function of its job).
 """
 
-from .bench import bench_name_for_module, bench_record, write_bench
+from .bench import (
+    bench_name_for_module,
+    bench_record,
+    diff_bench,
+    format_diff,
+    load_bench,
+    write_bench,
+)
 from .cache import CacheStats, ResultCache, code_version, job_fingerprint, job_key
 from .executor import JOBS_ENV, SweepExecutor, jobs_from_env
 from .jobs import SweepJob, WorkloadRef, execute_job
@@ -39,6 +46,9 @@ __all__ = [
     "WorkloadRef",
     "bench_name_for_module",
     "bench_record",
+    "diff_bench",
+    "format_diff",
+    "load_bench",
     "code_version",
     "default_executor",
     "execute_job",

@@ -1,0 +1,8 @@
+"""``python -m repro.exec`` — diff fresh BENCH_*.json records against
+committed baselines (see :func:`repro.exec.bench.main`)."""
+
+import sys
+
+from .bench import main
+
+sys.exit(main())

@@ -65,6 +65,121 @@ def write_bench(
     return path
 
 
+# ----------------------------------------------------------------------
+# Baseline diffing (CI regression gate)
+# ----------------------------------------------------------------------
+#: Default wall-clock regression threshold — generous, because CI runner
+#: and developer machines are noisy (±10% run to run is normal).
+DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+
+def load_bench(path: Path) -> Dict[str, Any]:
+    """Load one ``BENCH_*.json`` record."""
+    return json.loads(Path(path).read_text())
+
+
+def diff_bench(
+    fresh_dir: str,
+    baseline_dir: str,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Dict[str, Any]:
+    """Compare fresh ``BENCH_*.json`` records against committed baselines.
+
+    Returns ``{"entries": [...], "regressions": [names], "threshold": t}``.
+    An entry is a regression when the fresh wall-clock exceeds the baseline
+    by more than ``threshold`` (fractional).  Baselines with no fresh
+    record and fresh records with no baseline are reported but never fail
+    the diff — only a measured like-for-like slowdown does.
+    """
+    fresh = {p.name: load_bench(p) for p in sorted(Path(fresh_dir).glob("BENCH_*.json"))}
+    base = {p.name: load_bench(p) for p in sorted(Path(baseline_dir).glob("BENCH_*.json"))}
+    entries = []
+    regressions = []
+    for fname, brec in base.items():
+        frec = fresh.get(fname)
+        if frec is None:
+            entries.append({"bench": brec["bench"], "status": "missing-fresh",
+                            "baseline_s": brec["wall_clock_s"]})
+            continue
+        ratio = frec["wall_clock_s"] / brec["wall_clock_s"] if brec["wall_clock_s"] else 0.0
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "regression"
+            regressions.append(brec["bench"])
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        notes = []
+        for key in ("jobs", "rows"):
+            if frec.get(key) != brec.get(key):
+                notes.append(f"{key} differ: {frec.get(key)} vs baseline {brec.get(key)}")
+        entries.append({
+            "bench": brec["bench"],
+            "status": status,
+            "baseline_s": brec["wall_clock_s"],
+            "fresh_s": frec["wall_clock_s"],
+            "ratio": round(ratio, 4),
+            "notes": notes,
+        })
+    for fname, frec in fresh.items():
+        if fname not in base:
+            entries.append({"bench": frec["bench"], "status": "no-baseline",
+                            "fresh_s": frec["wall_clock_s"]})
+    return {"entries": entries, "regressions": regressions, "threshold": threshold}
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """Render a :func:`diff_bench` result as a small markdown table."""
+    lines = [
+        f"# Bench diff (threshold +{diff['threshold'] * 100:.0f}%)",
+        "",
+        "| bench | baseline s | fresh s | ratio | status |",
+        "|---|---|---|---|---|",
+    ]
+    for e in diff["entries"]:
+        base_s = e.get("baseline_s", "-")
+        fresh_s = e.get("fresh_s", "-")
+        ratio = e.get("ratio", "-")
+        lines.append(f"| {e['bench']} | {base_s} | {fresh_s} | {ratio} | {e['status']} |")
+        for note in e.get("notes", ()):
+            lines.append(f"| | | | | ({note}) |")
+    if diff["regressions"]:
+        lines += ["", f"**REGRESSION** in: {', '.join(diff['regressions'])}"]
+    else:
+        lines += ["", "No wall-clock regressions."]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point: ``python -m repro.exec.bench --fresh DIR [...]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.exec.bench",
+        description="Diff fresh BENCH_*.json records against committed baselines.",
+    )
+    parser.add_argument("--fresh", required=True, help="directory of fresh records")
+    parser.add_argument(
+        "--baseline", default="benchmarks", help="directory of baselines (default: benchmarks/)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="fractional wall-clock regression threshold (default: 0.25)",
+    )
+    parser.add_argument("--out", help="write the markdown diff report here")
+    args = parser.parse_args(argv)
+
+    diff = diff_bench(args.fresh, args.baseline, threshold=args.threshold)
+    report = format_diff(diff)
+    print(report, end="")
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report)
+    return 1 if diff["regressions"] else 0
+
+
 def bench_name_for_module(module_stem: str) -> str:
     """Map a benchmark module stem to its record name.
 
@@ -78,3 +193,7 @@ def bench_name_for_module(module_stem: str) -> str:
     if tokens[0] == "ext" and len(tokens) > 1:
         return "_".join(tokens[:2])
     return tokens[0]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ physical address mapping).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
@@ -117,7 +118,7 @@ class GPU:
         self.stats.kernel_launches += 1
         self._fill_all_sms()
         # A GPU may receive zero CTAs (small grids, Section V-A).
-        self.sim.after(0, lambda: self._check_context(ctx))
+        self.sim.after(0, partial(self._check_context, ctx))
 
     def _next_work(self) -> Optional[Tuple["_KernelContext", int]]:
         """Pull the next CTA, round-robin across active kernel contexts."""
@@ -212,13 +213,7 @@ class GPU:
         if token is not None:
             token.inflight += 1
 
-        def done() -> None:
-            on_done()
-            if token is not None:
-                token.inflight -= 1
-                if token.inflight == 0:
-                    self._check_context(token)
-
+        done = partial(self._access_done, on_done, token)
         paddr = self.translate(access.vaddr)
         line = paddr - paddr % self.cfg.l1.line_bytes
         if access.type is AccessType.READ:
@@ -227,6 +222,15 @@ class GPU:
             self._write(sm, paddr, line, access.size, done)
         else:
             self._atomic(sm, paddr, line, access.size, done)
+
+    def _access_done(
+        self, on_done: Callable[[], None], token: Optional["_KernelContext"]
+    ) -> None:
+        on_done()
+        if token is not None:
+            token.inflight -= 1
+            if token.inflight == 0:
+                self._check_context(token)
 
     # -- reads ----------------------------------------------------------
     def _read(self, sm: SM, line: int, done: Callable[[], None]) -> None:
@@ -253,15 +257,17 @@ class GPU:
             return
         self._mshr_table[line] = [(sm, done)]
         request = self._make_request(line, self.cfg.l1.line_bytes, AccessType.READ)
-
-        def on_data() -> None:
-            self.l2.fill(line)
-            for waiter_sm, waiter_done in self._mshr_table.pop(line):
-                waiter_sm.l1.fill(line)
-                waiter_done()
-
         lookup_ps = self.cfg.l1.hit_latency_ps + self.cfg.l2.hit_latency_ps
-        self.sim.after(lookup_ps, lambda: self._send(request, on_data))
+        self.sim.after(
+            lookup_ps, partial(self._send, request, partial(self._fill_line, line))
+        )
+
+    def _fill_line(self, line: int) -> None:
+        """A read miss returned: fill L2, then release every merged waiter."""
+        self.l2.fill(line)
+        for waiter_sm, waiter_done in self._mshr_table.pop(line):
+            waiter_sm.l1.fill(line)
+            waiter_done()
 
     # -- writes ---------------------------------------------------------
     def _write(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Deque, Optional, Sequence
 
 from ..config import GPUConfig
@@ -92,7 +93,7 @@ class SM:
         ctx.started_ps = self.sim.now
         # Schedule instead of running inline so a burst of launches
         # interleaves deterministically through the event queue.
-        self.sim.after(0, lambda: self._advance(ctx))
+        self.sim.after(0, partial(self._advance, ctx))
 
     def _advance(self, ctx: _CTAContext) -> None:
         if ctx.phase_idx >= len(ctx.phases):
@@ -134,7 +135,7 @@ class SM:
         start = max(self.sim.now, self._compute_free)
         end = start + chunk
         self._compute_free = end
-        self.sim.at(end, lambda: self._compute_chunk(ctx, remaining - chunk))
+        self.sim.at(end, partial(self._compute_chunk, ctx, remaining - chunk))
 
     def _finish_cta(self, ctx: _CTAContext) -> None:
         self._resident -= 1
@@ -165,16 +166,17 @@ class SM:
 
     def _issue(self, access: Access, ctx: Optional[_CTAContext], token) -> None:
         self._outstanding += 1
+        self.gpu.access_memory(
+            self, access, partial(self._access_done, ctx), token=token
+        )
 
-        def on_done() -> None:
-            self._outstanding -= 1
-            if ctx is not None:
-                ctx.waiting -= 1
-                if ctx.waiting == 0 and not ctx.pending:
-                    self._compute(ctx)
-            self._pump_issue_queue()
-
-        self.gpu.access_memory(self, access, on_done, token=token)
+    def _access_done(self, ctx: Optional[_CTAContext]) -> None:
+        self._outstanding -= 1
+        if ctx is not None:
+            ctx.waiting -= 1
+            if ctx.waiting == 0 and not ctx.pending:
+                self._compute(ctx)
+        self._pump_issue_queue()
 
     @property
     def outstanding(self) -> int:

@@ -55,33 +55,35 @@ class Bank:
 
         Updates the bank's open row and ``ready_at`` horizon.
         """
-        outcome = self.classify(row)
-        issue = max(now_ps, self.ready_at)
-        if outcome is RowOutcome.HIT:
-            latency = timing.ps(timing.tCL)
-        elif outcome is RowOutcome.EMPTY:
-            latency = timing.ps(timing.tRCD + timing.tCL)
+        open_row = self.open_row
+        ready = self.ready_at
+        issue = now_ps if now_ps > ready else ready
+        stats = self.stats
+        stats.accesses += 1
+        if open_row == row:
+            # Row hit: a column access, pipeline frees after tCCD.
+            data_done = issue + timing.hit_ps
+            self.ready_at = issue + timing.ccd_ps
+            stats.hits += 1
         else:
-            extra_wr = timing.tWR if self._last_was_write else 0
-            latency = timing.ps(extra_wr + timing.tRP + timing.tRCD + timing.tCL)
-        data_done = issue + latency
-
-        # Command occupancy: the column access pipeline frees after tCCD; an
-        # activate additionally holds the bank for tRAS before it may be
-        # precharged again.
-        if outcome is RowOutcome.HIT:
-            occupancy = timing.ps(timing.tCCD)
-        else:
-            occupancy = max(timing.ps(timing.tRAS), latency - timing.ps(timing.tCL))
-        self.ready_at = issue + occupancy
-        self.open_row = row
+            if open_row is None:
+                latency = timing.empty_ps
+            else:
+                latency = (
+                    timing.conflict_wr_ps
+                    if self._last_was_write
+                    else timing.conflict_ps
+                )
+                stats.conflicts += 1
+            data_done = issue + latency
+            # An activate holds the bank for tRAS before it may be
+            # precharged again (or until the precharge+activate completes).
+            occupancy = latency - timing.cl_ps
+            if occupancy < timing.ras_ps:
+                occupancy = timing.ras_ps
+            self.ready_at = issue + occupancy
+            self.open_row = row
         self._last_was_write = access_type is AccessType.WRITE
-
-        self.stats.accesses += 1
-        if outcome is RowOutcome.HIT:
-            self.stats.hits += 1
-        elif outcome is RowOutcome.CONFLICT:
-            self.stats.conflicts += 1
         return data_done
 
     def earliest_issue(self, now_ps: int) -> int:

@@ -9,26 +9,35 @@ buffer and are admitted as entries free up.  The scheduler prefers row hits
 from __future__ import annotations
 
 import collections
+import sys
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import HMCConfig
 from ..errors import SimulationError
 from ..mem import AccessType, MemoryAccess
 from ..sim.engine import Simulator
-from .dram import Bank, RowOutcome
+from .dram import Bank
 
 CompletionCallback = Callable[[MemoryAccess], None]
 
 #: Extra latency charged for the logic-layer ALU of an atomic operation.
 ATOMIC_ALU_PS = 2_500
 
+_DATACLASS_OPTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**_DATACLASS_OPTS)
 class _QueuedRequest:
     access: MemoryAccess
     on_done: CompletionCallback
     arrived_ps: int
+    #: Admission order within the vault.  The queue preserves admission
+    #: order, so sorting by ``seq`` is identical to sorting by queue index
+    #: — which lets the bucketed fast path reproduce the flat scan's
+    #: FR-FCFS tie-break exactly.
+    seq: int = 0
 
 
 @dataclass
@@ -55,25 +64,54 @@ class Vault:
         self.cfg = cfg
         self.vault_id = vault_id
         self.name = name or f"vault{vault_id}"
-        self.banks: List[Bank] = [Bank() for _ in range(cfg.banks_per_vault)]
+        #: Banks are built on first access: most vaults in a sweep never
+        #: see traffic, and eager construction dominated system build time.
+        self._banks: Optional[List[Bank]] = None
         self.queue: List[_QueuedRequest] = []
         self.overflow: Deque[_QueuedRequest] = collections.deque()
         self.bus_busy_until: int = 0
         self.stats = VaultStats()
         self._kick_at: Optional[int] = None
+        self._fast = cfg.frfcfs_fast_scan
+        #: Fast path: requests bucketed per bank, each bucket in admission
+        #: order; ``_queue_len`` tracks admitted entries across buckets.
+        self._buckets: Dict[int, List[_QueuedRequest]] = {}
+        self._queue_len = 0
+        self._next_seq = 0
+
+    @property
+    def banks(self) -> List[Bank]:
+        if self._banks is None:
+            self._banks = [Bank() for _ in range(self.cfg.banks_per_vault)]
+        return self._banks
 
     # ------------------------------------------------------------------
     def enqueue(self, access: MemoryAccess, on_done: CompletionCallback) -> None:
         """Accept a request; it is queued (or buffered on overflow)."""
         if access.decoded is None:
             raise SimulationError("memory access reached a vault without decode")
-        req = _QueuedRequest(access, on_done, self.sim.now)
-        if len(self.queue) < self.cfg.vault_queue_entries:
-            self.queue.append(req)
+        req = _QueuedRequest(access, on_done, self.sim.now, self._next_seq)
+        self._next_seq += 1
+        if self._queued_count() < self.cfg.vault_queue_entries:
+            self._admit(req)
         else:
             self.overflow.append(req)
             self.stats.overflow_peak = max(self.stats.overflow_peak, len(self.overflow))
         self._schedule_kick(self.sim.now)
+
+    def _queued_count(self) -> int:
+        return self._queue_len if self._fast else len(self.queue)
+
+    def _admit(self, req: _QueuedRequest) -> None:
+        if self._fast:
+            bank = req.access.decoded.bank
+            bucket = self._buckets.get(bank)
+            if bucket is None:
+                bucket = self._buckets[bank] = []
+            bucket.append(req)
+            self._queue_len += 1
+        else:
+            self.queue.append(req)
 
     # ------------------------------------------------------------------
     # FR-FCFS scheduling
@@ -94,11 +132,26 @@ class Vault:
         # per kick instead of once per candidate per issue iteration, and
         # refreshed only for the bank that was just issued to.
         bank_state: Dict[int, Tuple[bool, Optional[int]]] = {}
-        progressed = True
-        while progressed and self.queue:
-            progressed = self._try_issue(bank_state)
+        if self._fast:
+            progressed = True
+            while progressed and self._queue_len:
+                progressed = self._try_issue_fast(bank_state)
+        else:
+            progressed = True
+            while progressed and self.queue:
+                progressed = self._try_issue(bank_state)
         self._drain_overflow()
-        if self.queue:
+        if self._fast:
+            if self._queue_len:
+                now = self.sim.now
+                banks = self.banks
+                horizon = min(
+                    banks[bank_id].ready_at
+                    for bank_id, bucket in self._buckets.items()
+                    if bucket
+                )
+                self._schedule_kick(max(horizon, now + 1))
+        elif self.queue:
             horizon = min(
                 self.banks[req.access.decoded.bank].earliest_issue(self.sim.now)
                 for req in self.queue
@@ -106,8 +159,8 @@ class Vault:
             self._schedule_kick(max(horizon, self.sim.now + 1))
 
     def _drain_overflow(self) -> None:
-        while self.overflow and len(self.queue) < self.cfg.vault_queue_entries:
-            self.queue.append(self.overflow.popleft())
+        while self.overflow and self._queued_count() < self.cfg.vault_queue_entries:
+            self._admit(self.overflow.popleft())
 
     def _try_issue(self, bank_state: Dict[int, Tuple[bool, Optional[int]]]) -> bool:
         """Issue the FR-FCFS-preferred request if one is ready now.
@@ -140,29 +193,80 @@ class Vault:
         self._service(req)
         return True
 
+    def _try_issue_fast(self, bank_state: Dict[int, Tuple[bool, Optional[int]]]) -> bool:
+        """Bucketed FR-FCFS issue: equivalent to :meth:`_try_issue`.
+
+        Within one bank the flat scan's best candidate is the oldest row
+        hit, or the oldest request if none hits (the key is hits-first,
+        then admission order, and each bucket preserves admission order).
+        The cross-bank winner is picked by the same ``(is_hit, arrived_ps,
+        seq)`` key; ``seq`` orders identically to the flat queue index.
+        Not-ready banks are skipped without touching their requests, so a
+        drain is linear in queue length instead of quadratic.
+        """
+        now = self.sim.now
+        banks = self.banks
+        best_req: Optional[_QueuedRequest] = None
+        best_key: Optional[Tuple[int, int, int]] = None
+        best_bank = -1
+        for bank_id, bucket in self._buckets.items():
+            if not bucket:
+                continue
+            state = bank_state.get(bank_id)
+            if state is None:
+                bank = banks[bank_id]
+                state = (bank.ready_at <= now, bank.open_row)
+                bank_state[bank_id] = state
+            if not state[0]:
+                continue
+            open_row = state[1]
+            cand = None
+            for req in bucket:
+                if req.access.decoded.row == open_row:
+                    cand = req
+                    is_hit = 0
+                    break
+            if cand is None:
+                cand = bucket[0]
+                is_hit = 1
+            key = (is_hit, cand.arrived_ps, cand.seq)
+            if best_key is None or key < best_key:
+                best_key, best_req, best_bank = key, cand, bank_id
+        if best_req is None:
+            return False
+        self._buckets[best_bank].remove(best_req)
+        self._queue_len -= 1
+        bank_state.pop(best_bank, None)
+        self._service(best_req)
+        return True
+
     def _service(self, req: _QueuedRequest) -> None:
         access = req.access
         decoded = access.decoded
+        now = self.sim.now
+        timing = self.cfg.timing
         bank = self.banks[decoded.bank]
-        was_hit = bank.classify(decoded.row) is RowOutcome.HIT
-        data_done = bank.access(decoded.row, access.type, self.sim.now, self.cfg.timing)
+        was_hit = bank.open_row == decoded.row
+        data_done = bank.access(decoded.row, access.type, now, timing)
+        stats = self.stats
         if access.type is AccessType.ATOMIC:
             data_done += ATOMIC_ALU_PS
-            self.stats.atomics += 1
+            stats.atomics += 1
 
-        transfer_cycles = max(
-            1, -(-access.size // self.cfg.vault_bus_bytes_per_cycle)
-        )
-        transfer_ps = transfer_cycles * self.cfg.timing.tCK_ps
-        bus_start = max(data_done, self.bus_busy_until)
+        transfer_cycles = -(-access.size // self.cfg.vault_bus_bytes_per_cycle)
+        if transfer_cycles < 1:
+            transfer_cycles = 1
+        transfer_ps = transfer_cycles * timing.tCK_ps
+        bus_busy = self.bus_busy_until
+        bus_start = data_done if data_done > bus_busy else bus_busy
         done = bus_start + transfer_ps
         self.bus_busy_until = done
 
-        self.stats.served += 1
+        stats.served += 1
         if was_hit:
-            self.stats.row_hits += 1
-        self.stats.total_queue_wait_ps += self.sim.now - req.arrived_ps
-        self.stats.total_service_ps += done - self.sim.now
+            stats.row_hits += 1
+        stats.total_queue_wait_ps += now - req.arrived_ps
+        stats.total_service_ps += done - now
 
         tracer = self.sim.tracer
         if tracer is not None:
@@ -175,8 +279,7 @@ class Vault:
                 args={"bank": decoded.bank, "row_hit": was_hit},
             )
 
-        on_done = req.on_done
-        self.sim.at(done, lambda: on_done(access))
+        self.sim.at(done, partial(req.on_done, access))
         # A completion frees a queue entry; give the overflow a chance.
         if self.overflow:
             self._schedule_kick(self.sim.now)
@@ -184,7 +287,7 @@ class Vault:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return len(self.queue) + len(self.overflow)
+        return self._queued_count() + len(self.overflow)
 
     @property
     def row_hit_rate(self) -> float:

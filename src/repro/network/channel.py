@@ -10,13 +10,16 @@ authors' booksim setup (see DESIGN.md section 2).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..units import bytes_per_ps
 
+_DATACLASS_OPTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**_DATACLASS_OPTS)
 class ChannelStats:
     packets: int = 0
     bytes: int = 0
@@ -32,7 +35,10 @@ class Channel:
     ``-2x`` topology variants that double slice channels).
     """
 
-    __slots__ = ("name", "src", "dst", "gbps", "width", "busy_until", "stats")
+    __slots__ = (
+        "name", "src", "dst", "gbps", "width", "busy_until", "stats",
+        "_bytes_per_ps",
+    )
 
     def __init__(
         self,
@@ -49,6 +55,9 @@ class Channel:
         self.width = width
         self.busy_until: int = 0
         self.stats = ChannelStats()
+        # serialization_ps runs once per packet per hop; the bandwidth is
+        # fixed at construction, so the bytes/ps conversion is hoisted here.
+        self._bytes_per_ps = bytes_per_ps(gbps * width)
 
     # ------------------------------------------------------------------
     @property
@@ -58,7 +67,7 @@ class Channel:
     def serialization_ps(self, num_bytes: int) -> int:
         if num_bytes <= 0:
             return 0
-        return max(1, round(num_bytes / bytes_per_ps(self.effective_gbps)))
+        return max(1, round(num_bytes / self._bytes_per_ps))
 
     def queue_delay_ps(self, now_ps: int) -> int:
         """How long a packet arriving now would wait before transmission."""
@@ -66,13 +75,22 @@ class Channel:
 
     def transmit(self, num_bytes: int, now_ps: int) -> int:
         """Schedule a transfer; returns the time the last byte arrives."""
-        start = max(now_ps, self.busy_until)
-        ser = self.serialization_ps(num_bytes)
-        self.busy_until = start + ser
-        self.stats.packets += 1
-        self.stats.bytes += num_bytes
-        self.stats.busy_ps += ser
-        return self.busy_until
+        # Runs once per packet per hop — serialization_ps/max are inlined.
+        busy = self.busy_until
+        start = now_ps if now_ps > busy else busy
+        if num_bytes <= 0:
+            ser = 0
+        else:
+            ser = round(num_bytes / self._bytes_per_ps)
+            if ser < 1:
+                ser = 1
+        end = start + ser
+        self.busy_until = end
+        stats = self.stats
+        stats.packets += 1
+        stats.bytes += num_bytes
+        stats.busy_ps += ser
+        return end
 
     def reset_stats(self) -> None:
         self.stats = ChannelStats()

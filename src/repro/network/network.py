@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import NetworkConfig
@@ -64,10 +65,24 @@ class MemoryNetwork:
         self.sim = sim
         self.topo = topo
         self.cfg = cfg or NetworkConfig()
-        self.routing = make_routing(routing, self.cfg.hop_latency_ps)
+        self.routing = make_routing(
+            routing, self.cfg.hop_latency_ps, use_cache=self.cfg.route_cache
+        )
         self.stats = NetworkStats()
         self._router_handlers: Dict[int, PacketHandler] = {}
         self._terminal_handlers: Dict[str, PacketHandler] = {}
+        # Per-instance copies of config latencies: hop_latency_ps is a
+        # derived property and these sit on every hop's critical path.
+        self._hop_latency_ps = self.cfg.hop_latency_ps
+        self._serdes_ps = self.cfg.serdes_ps
+        self._passthrough_ps = self.cfg.passthrough_ps
+        self._switch_ps = self.cfg.pipeline_stages * self.cfg.router_cycle_ps
+        self._use_cache = self.cfg.route_cache
+        #: (src terminal, dst terminal) -> nearest destination router, valid
+        #: for one topology version (the estimate is a pure topology
+        #: function; see `_destination_router_estimate`).
+        self._dst_cache: Dict[Tuple[str, str], int] = {}
+        self._dst_cache_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Handler registration
@@ -103,33 +118,51 @@ class MemoryNetwork:
             att_router, channels = chain_plan
             att = self._attachment_at(terminal, att_router)
             arrive = att.inject.transmit(
-                packet.size_bytes, self.sim.now + self.cfg.serdes_ps
+                packet.size_bytes, self.sim.now + self._serdes_ps
             )
             packet.hops += 1
-            self.sim.at(arrive, lambda: self._ride_chain(packet, channels, 0, att_router))
+            self.sim.at(arrive, partial(self._ride_chain, packet, channels, 0, att_router))
             return
 
         att = self.routing.select_injection(self.topo, packet, dst_router, self.sim.now)
         arrive = att.inject.transmit(
-            packet.size_bytes, self.sim.now + self.cfg.serdes_ps
+            packet.size_bytes, self.sim.now + self._serdes_ps
         )
         packet.hops += 1
-        router = att.router
-        self.sim.at(arrive, lambda: self._at_router(packet, router))
+        self.sim.at(arrive, partial(self._at_router, packet, att.router))
 
     def _destination_router_estimate(self, packet: Packet) -> int:
         """The router the packet must reach (exact for router destinations,
-        the nearest attachment for terminal destinations)."""
+        the nearest attachment for terminal destinations).
+
+        For terminal destinations this is a pure function of the topology,
+        so it is memoized per (src terminal, dst terminal) pair until the
+        topology version changes.
+        """
         if isinstance(packet.dst, int):
             return packet.dst
-        atts = self.topo.attachments(str(packet.dst))
-        src_atts = self.topo.attachments(str(packet.src))
-        return min(
+        dst = str(packet.dst)
+        src = str(packet.src)
+        if self._use_cache:
+            if self._dst_cache_version != self.topo.version:
+                self._dst_cache.clear()
+                self._dst_cache_version = self.topo.version
+            cached = self._dst_cache.get((src, dst))
+            if cached is not None:
+                return cached
+        atts = self.topo.attachments(dst)
+        src_atts = self.topo.attachments(src)
+        best = min(
             (att.router for att in atts),
             key=lambda r: min(self.topo.distance(a.router, r) for a in src_atts),
         )
+        if self._use_cache:
+            self._dst_cache[(src, dst)] = best
+        return best
 
     def _attachment_at(self, terminal: str, router: int):
+        if self._use_cache:
+            return self.topo.attachment_at(terminal, router)
         for att in self.topo.attachments(terminal):
             if att.router == router:
                 return att
@@ -163,7 +196,7 @@ class MemoryNetwork:
         chain_cost = sum(
             ch.queue_delay_ps(self.sim.now)
             + ch.serialization_ps(packet.size_bytes)
-            + self.cfg.passthrough_ps
+            + self._passthrough_ps
             for ch in channels
         )
         normal_att = self.routing.select_injection(
@@ -172,9 +205,9 @@ class MemoryNetwork:
         normal_cost = (
             normal_att.inject.queue_delay_ps(self.sim.now)
             + self.topo.distance(normal_att.router, dst_router)
-            * self.cfg.hop_latency_ps
+            * self._hop_latency_ps
         )
-        if chain_cost > normal_cost + self.cfg.hop_latency_ps:
+        if chain_cost > normal_cost + self._hop_latency_ps:
             return None
         return head, channels
 
@@ -186,10 +219,10 @@ class MemoryNetwork:
             self._at_router(packet, cur_router, via_chain=True)
             return
         ch = channels[idx]
-        arrive = ch.transmit(packet.size_bytes, self.sim.now + self.cfg.passthrough_ps)
+        arrive = ch.transmit(packet.size_bytes, self.sim.now + self._passthrough_ps)
         packet.hops += 1
         nxt = ch.dst if isinstance(ch.dst, int) else cur_router
-        self.sim.at(arrive, lambda: self._ride_chain(packet, channels, idx + 1, nxt))
+        self.sim.at(arrive, partial(self._ride_chain, packet, channels, idx + 1, nxt))
 
     def _passthrough_return_plan(
         self, packet: Packet, router: int
@@ -239,9 +272,9 @@ class MemoryNetwork:
                 return
         dst_router = packet.dst if isinstance(packet.dst, int) else packet.eject_router
         nbr, ch = self.routing.next_hop(self.topo, packet, router, dst_router, self.sim.now)
-        arrive = ch.transmit(packet.size_bytes, self.sim.now + self.cfg.hop_latency_ps)
+        arrive = ch.transmit(packet.size_bytes, self.sim.now + self._hop_latency_ps)
         packet.hops += 1
-        self.sim.at(arrive, lambda: self._at_router(packet, nbr))
+        self.sim.at(arrive, partial(self._at_router, packet, nbr))
 
     # ------------------------------------------------------------------
     # Delivery
@@ -250,16 +283,15 @@ class MemoryNetwork:
         handler = self._router_handlers.get(router)
         if handler is None:
             raise SimulationError(f"no handler registered for router {router}")
-        switch_ps = self.cfg.pipeline_stages * self.cfg.router_cycle_ps
-        self.sim.after(switch_ps, lambda: self._finish(packet, handler))
+        self.sim.after(self._switch_ps, partial(self._finish, packet, handler))
 
     def _eject(self, packet: Packet, att) -> None:
         handler = self._terminal_handlers.get(att.terminal)
         if handler is None:
             raise SimulationError(f"no handler registered for terminal {att.terminal}")
-        arrive = att.eject.transmit(packet.size_bytes, self.sim.now + self.cfg.serdes_ps)
+        arrive = att.eject.transmit(packet.size_bytes, self.sim.now + self._serdes_ps)
         packet.hops += 1
-        self.sim.at(arrive, lambda: self._finish(packet, handler))
+        self.sim.at(arrive, partial(self._finish, packet, handler))
 
     def _finish(self, packet: Packet, handler: PacketHandler) -> None:
         self.stats.delivered += 1

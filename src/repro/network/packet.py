@@ -115,12 +115,12 @@ def response_size_bytes(kind: PacketKind, data_bytes: int, header_bytes: int = 1
 
 def response_kind(request: PacketKind) -> PacketKind:
     """Map a request kind to its response kind."""
-    mapping = {
-        PacketKind.READ_REQ: PacketKind.READ_RESP,
-        PacketKind.WRITE_REQ: PacketKind.WRITE_ACK,
-        PacketKind.ATOMIC_REQ: PacketKind.ATOMIC_RESP,
-    }
-    try:
-        return mapping[request]
-    except KeyError:
-        raise ValueError(f"{request} has no response kind") from None
+    # ``is``-chain rather than an enum-keyed dict: Enum.__hash__ is a
+    # Python-level call and this runs once per memory response.
+    if request is PacketKind.READ_REQ:
+        return PacketKind.READ_RESP
+    if request is PacketKind.WRITE_REQ:
+        return PacketKind.WRITE_ACK
+    if request is PacketKind.ATOMIC_REQ:
+        return PacketKind.ATOMIC_RESP
+    raise ValueError(f"{request} has no response kind")

@@ -61,6 +61,14 @@ class Topology:
         self.passthrough_chains: Dict[str, Dict[int, "PassthroughChain"]] = {}
         self._dist: Optional[List[List[int]]] = None
         self._next_hops: Optional[List[List[List[Tuple[int, Channel]]]]] = None
+        #: Monotonic mutation counter.  Every structural change (links,
+        #: terminal attachments, overlay chains) bumps it; route caches in
+        #: :mod:`repro.network.routing` and :class:`MemoryNetwork` compare
+        #: it against the version they were built at and rebuild on
+        #: mismatch.  A topology that stops mutating is thereby "frozen"
+        #: without an explicit freeze call.
+        self.version: int = 0
+        self._att_index: Optional[Dict[Tuple[str, int], TerminalAttachment]] = None
 
         if len(self.cluster_of) != num_routers or len(self.slice_of) != num_routers:
             raise TopologyError("cluster/slice labels must cover all routers", topology=name)
@@ -95,6 +103,8 @@ class Topology:
         eject = Channel(f"r{router}->{terminal}", router, terminal, rate, width)
         att = TerminalAttachment(terminal, router, inject, eject)
         self.terminals.setdefault(terminal, []).append(att)
+        self.version += 1
+        self._att_index = None
         return att
 
     def add_passthrough_chain(self, terminal: str, slice_id: int, routers: Sequence[int]) -> None:
@@ -117,6 +127,7 @@ class Topology:
             reverse.append(rev)
         chain = PassthroughChain(list(routers), forward, reverse)
         self.passthrough_chains.setdefault(terminal, {})[slice_id] = chain
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Routing tables
@@ -124,6 +135,7 @@ class Topology:
     def _invalidate(self) -> None:
         self._dist = None
         self._next_hops = None
+        self.version += 1
 
     def _compute_tables(self) -> None:
         n = self.num_routers
@@ -190,6 +202,27 @@ class Topology:
 
     def terminal_routers(self, terminal: str) -> List[int]:
         return [att.router for att in self.attachments(terminal)]
+
+    def attachment_at(self, terminal: str, router: int) -> TerminalAttachment:
+        """The attachment of ``terminal`` at ``router`` (first match wins).
+
+        Indexed lookup over a ``(terminal, router)`` dict rebuilt whenever
+        the topology mutates; semantics match a linear first-match scan of
+        :meth:`attachments`.
+        """
+        index = self._att_index
+        if index is None:
+            index = {}
+            for atts in self.terminals.values():
+                for att in atts:
+                    index.setdefault((att.terminal, att.router), att)
+            self._att_index = index
+        try:
+            return index[(terminal, router)]
+        except KeyError:
+            raise RoutingError(
+                f"{terminal} is not attached to router {router}"
+            ) from None
 
     def terminal_distance(self, terminal: str, router: int) -> int:
         """Minimum network distance from any of the terminal's routers."""

@@ -40,7 +40,16 @@ class EventLoopProfiler:
             elapsed = time.perf_counter() - start
             self.events += 1
             self.wall_s += elapsed
-            module = getattr(fn, "__module__", None) or "<unknown>"
+            # Unwrap functools.partial chains: the hot paths schedule
+            # partial-bound methods, and the interesting module is the
+            # wrapped callable's, not functools.
+            target = fn
+            while True:
+                inner = getattr(target, "func", None)
+                if inner is None or inner is target:
+                    break
+                target = inner
+            module = getattr(target, "__module__", None) or "<unknown>"
             slot = self.by_module.get(module)
             if slot is None:
                 self.by_module[module] = [1, elapsed]

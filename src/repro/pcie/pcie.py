@@ -11,6 +11,7 @@ system builder charges that forwarding cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, Optional
 
 from ..config import PCIeConfig
@@ -82,11 +83,11 @@ class PCIeSwitch:
                 )
                 inner()
 
-        def forward() -> None:
-            arrive = down.transmit(size, self.sim.now + self.cfg.latency_ps // 2)
-            self.sim.at(arrive, on_done)
+        self.sim.at(at_switch, partial(self._forward, down, size, on_done))
 
-        self.sim.at(at_switch, forward)
+    def _forward(self, down: Channel, size: int, on_done: Callable[[], None]) -> None:
+        arrive = down.transmit(size, self.sim.now + self.cfg.latency_ps // 2)
+        self.sim.at(arrive, on_done)
 
     # ------------------------------------------------------------------
     def link_utilization(self, device: str, elapsed_ps: int) -> float:

@@ -14,6 +14,10 @@ from ..errors import SimulationError
 
 Callback = Callable[[], None]
 
+# at() is the single hottest call site in the simulator; binding heappush
+# at module level skips the heapq attribute chase on every schedule.
+_heappush = heapq.heappush
+
 
 class Simulator:
     """A deterministic discrete-event simulator with integer-ps time."""
@@ -42,7 +46,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: {time_ps} < now={self.now}"
             )
-        heapq.heappush(self._queue, (time_ps, self._seq, fn))
+        _heappush(self._queue, (time_ps, self._seq, fn))
         self._seq += 1
 
     def after(self, delay_ps: int, fn: Callback) -> None:

@@ -25,7 +25,9 @@ UMN               everything: one unified memory network; CPU requests may
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
@@ -60,13 +62,16 @@ from .configs import ArchSpec, Organization, TransferMode
 #: a peer GPU, Fig. 9(a)): on-chip crossbar + memory-controller traversal.
 GPU_FORWARD_PS = 150_000  # 150 ns
 
+_DATACLASS_OPTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 def _packet_kind(access_type: AccessType) -> PacketKind:
-    return {
-        AccessType.READ: PacketKind.READ_REQ,
-        AccessType.WRITE: PacketKind.WRITE_REQ,
-        AccessType.ATOMIC: PacketKind.ATOMIC_REQ,
-    }[access_type]
+    # ``is``-chain rather than an enum-keyed dict: Enum.__hash__ is a
+    # Python-level call and this runs multiple times per memory access.
+    if access_type is AccessType.READ:
+        return PacketKind.READ_REQ
+    if access_type is AccessType.WRITE:
+        return PacketKind.WRITE_REQ
+    return PacketKind.ATOMIC_REQ
 
 
 def _request_bytes(access: MemoryAccess, header: int) -> int:
@@ -81,7 +86,7 @@ def _response_bytes(access: MemoryAccess, header: int) -> int:
     return response_size_bytes(kind, data, header)
 
 
-@dataclass
+@dataclass(**_DATACLASS_OPTS)
 class NetEnvelope:
     """Payload wrapper for packets crossing the memory network."""
 
@@ -113,13 +118,15 @@ class DirectLink:
     def access(self, access: MemoryAccess, on_done: Callable[[], None]) -> None:
         req_size = _request_bytes(access, self.header_bytes)
         arrive = self.req.transmit(req_size, self.sim.now + self.serdes_ps)
+        self.sim.at(
+            arrive,
+            partial(self.hmc.access, access, partial(self._served, on_done)),
+        )
 
-        def served(_: MemoryAccess) -> None:
-            resp_size = _response_bytes(access, self.header_bytes)
-            done_at = self.resp.transmit(resp_size, self.sim.now + self.serdes_ps)
-            self.sim.at(done_at, on_done)
-
-        self.sim.at(arrive, lambda: self.hmc.access(access, served))
+    def _served(self, on_done: Callable[[], None], access: MemoryAccess) -> None:
+        resp_size = _response_bytes(access, self.header_bytes)
+        done_at = self.resp.transmit(resp_size, self.sim.now + self.serdes_ps)
+        self.sim.at(done_at, on_done)
 
 
 class MultiGPUSystem:
@@ -291,7 +298,7 @@ class MultiGPUSystem:
     def _register_router(self, router: int, hmc: HMC) -> None:
         assert self.network is not None
         self.network.set_router_handler(
-            router, lambda packet: self._on_router_packet(router, hmc, packet)
+            router, partial(self._on_router_packet, router, hmc)
         )
 
     # ------------------------------------------------------------------
@@ -344,10 +351,7 @@ class MultiGPUSystem:
         self.cpu.memory_port = self._cpu_port
 
     def _make_gpu_port(self, gpu_id: int):
-        def port(access: MemoryAccess, on_done: Callable[[], None]) -> None:
-            self._gpu_request(gpu_id, access, on_done)
-
-        return port
+        return partial(self._gpu_request, gpu_id)
 
     def _gpu_request(
         self, gpu_id: int, access: MemoryAccess, on_done: Callable[[], None]
@@ -496,22 +500,14 @@ class MultiGPUSystem:
         request to its local HMC and returns the response over PCIe."""
         assert self.pcie is not None
         req_bytes = _request_bytes(access, self.cfg.network.header_bytes)
-        resp_bytes = _response_bytes(access, self.cfg.network.header_bytes)
-
-        def at_owner() -> None:
-            def served() -> None:
-                self.sim.after(
-                    GPU_FORWARD_PS,
-                    lambda: self.pcie.transaction(
-                        owner_terminal, terminal, resp_bytes, on_done
-                    ),
-                )
-
-            self.sim.after(
-                GPU_FORWARD_PS, lambda: self._direct(owner_terminal, access, served)
-            )
-
-        self.pcie.transaction(terminal, owner_terminal, req_bytes, at_owner)
+        self.pcie.transaction(
+            terminal,
+            owner_terminal,
+            req_bytes,
+            partial(
+                self._fwd_at_owner, self.pcie, terminal, owner_terminal, access, on_done
+            ),
+        )
 
     def _pcn_forwarded(
         self,
@@ -524,22 +520,50 @@ class MultiGPUSystem:
         owning processor, which forwards to its local HMC (extension)."""
         assert self.pcn is not None
         req_bytes = _request_bytes(access, self.cfg.network.header_bytes)
+        self.pcn.transaction(
+            terminal,
+            owner_terminal,
+            req_bytes,
+            partial(
+                self._fwd_at_owner, self.pcn, terminal, owner_terminal, access, on_done
+            ),
+        )
+
+    def _fwd_at_owner(
+        self,
+        fabric,
+        terminal: str,
+        owner_terminal: str,
+        access: MemoryAccess,
+        on_done: Callable[[], None],
+    ) -> None:
+        """The request reached the owning device; forward to its local HMC
+        and send the response back over the same fabric."""
+        self.sim.after(
+            GPU_FORWARD_PS,
+            partial(
+                self._direct,
+                owner_terminal,
+                access,
+                partial(
+                    self._fwd_served, fabric, terminal, owner_terminal, access, on_done
+                ),
+            ),
+        )
+
+    def _fwd_served(
+        self,
+        fabric,
+        terminal: str,
+        owner_terminal: str,
+        access: MemoryAccess,
+        on_done: Callable[[], None],
+    ) -> None:
         resp_bytes = _response_bytes(access, self.cfg.network.header_bytes)
-
-        def at_owner() -> None:
-            def served() -> None:
-                self.sim.after(
-                    GPU_FORWARD_PS,
-                    lambda: self.pcn.transaction(
-                        owner_terminal, terminal, resp_bytes, on_done
-                    ),
-                )
-
-            self.sim.after(
-                GPU_FORWARD_PS, lambda: self._direct(owner_terminal, access, served)
-            )
-
-        self.pcn.transaction(terminal, owner_terminal, req_bytes, at_owner)
+        self.sim.after(
+            GPU_FORWARD_PS,
+            partial(fabric.transaction, owner_terminal, terminal, resp_bytes, on_done),
+        )
 
     # ------------------------------------------------------------------
     # Network packet handlers
@@ -548,21 +572,20 @@ class MultiGPUSystem:
         envelope: NetEnvelope = packet.payload
         if envelope.kind != "req":
             raise SimulationError(f"router {router} received {envelope.kind} packet")
-        access = envelope.access
+        hmc.access(envelope.access, partial(self._hmc_served, router, packet))
 
-        def served(_: MemoryAccess) -> None:
-            assert self.network is not None
-            response = Packet(
-                kind=response_kind(packet.kind),
-                src=router,
-                dst=envelope.reply_to,
-                size_bytes=_response_bytes(access, self.cfg.network.header_bytes),
-                payload=NetEnvelope("resp", access),
-                pass_through=packet.pass_through,
-            )
-            self.network.send(response)
-
-        hmc.access(access, served)
+    def _hmc_served(self, router: int, packet: Packet, access: MemoryAccess) -> None:
+        assert self.network is not None
+        envelope: NetEnvelope = packet.payload
+        response = Packet(
+            kind=response_kind(packet.kind),
+            src=router,
+            dst=envelope.reply_to,
+            size_bytes=_response_bytes(access, self.cfg.network.header_bytes),
+            payload=NetEnvelope("resp", access),
+            pass_through=packet.pass_through,
+        )
+        self.network.send(response)
 
     def _on_terminal_packet(self, packet: Packet) -> None:
         envelope: NetEnvelope = packet.payload
@@ -577,21 +600,29 @@ class MultiGPUSystem:
             on_done()
         elif envelope.kind == "fwd_req":
             owner = str(packet.dst)
-
-            def served() -> None:
-                assert self.network is not None
-                response = Packet(
-                    kind=response_kind(packet.kind),
-                    src=owner,
-                    dst=envelope.reply_to,
-                    size_bytes=_response_bytes(access, self.cfg.network.header_bytes),
-                    payload=NetEnvelope("resp", access),
-                )
-                self.sim.after(GPU_FORWARD_PS, lambda: self.network.send(response))
-
-            self.sim.after(GPU_FORWARD_PS, lambda: self._direct(owner, access, served))
+            self.sim.after(
+                GPU_FORWARD_PS,
+                partial(
+                    self._direct,
+                    owner,
+                    access,
+                    partial(self._fwd_req_served, owner, packet),
+                ),
+            )
         else:
             raise SimulationError(f"unexpected envelope kind {envelope.kind!r}")
+
+    def _fwd_req_served(self, owner: str, packet: Packet) -> None:
+        assert self.network is not None
+        envelope: NetEnvelope = packet.payload
+        response = Packet(
+            kind=response_kind(packet.kind),
+            src=owner,
+            dst=envelope.reply_to,
+            size_bytes=_response_bytes(envelope.access, self.cfg.network.header_bytes),
+            payload=NetEnvelope("resp", envelope.access),
+        )
+        self.sim.after(GPU_FORWARD_PS, partial(self.network.send, response))
 
     # ------------------------------------------------------------------
     # Introspection helpers

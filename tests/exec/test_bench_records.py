@@ -35,3 +35,69 @@ def test_bench_name_for_module():
     assert bench_name_for_module("bench_fig16_topologies") == "fig16"
     assert bench_name_for_module("bench_ext_pcn_flit") == "ext_pcn"
     assert bench_name_for_module("bench_sec3b_scheduler") == "sec3b"
+
+
+class TestDiffBench:
+    """The CI regression gate: fresh records vs committed baselines."""
+
+    @staticmethod
+    def _dirs(tmp_path, base_s, fresh_s):
+        from repro.exec import write_bench
+
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        for name, wall in base_s.items():
+            write_bench(name, wall, directory=str(base), jobs=1, rows=10)
+        for name, wall in fresh_s.items():
+            write_bench(name, wall, directory=str(fresh), jobs=1, rows=10)
+        return str(fresh), str(base)
+
+    def test_within_threshold_is_ok(self, tmp_path):
+        from repro.exec import diff_bench
+
+        fresh, base = self._dirs(tmp_path, {"fig14": 10.0}, {"fig14": 11.0})
+        diff = diff_bench(fresh, base, threshold=0.25)
+        assert diff["regressions"] == []
+        assert diff["entries"][0]["status"] == "ok"
+
+    def test_regression_flagged(self, tmp_path):
+        from repro.exec import diff_bench
+
+        fresh, base = self._dirs(tmp_path, {"fig14": 10.0}, {"fig14": 13.0})
+        diff = diff_bench(fresh, base, threshold=0.25)
+        assert diff["regressions"] == ["fig14"]
+        assert diff["entries"][0]["status"] == "regression"
+        assert diff["entries"][0]["ratio"] == 1.3
+
+    def test_improvement_and_missing_are_not_failures(self, tmp_path):
+        from repro.exec import diff_bench
+
+        fresh, base = self._dirs(
+            tmp_path, {"fig14": 10.0, "fig07": 5.0}, {"fig14": 6.0, "fig16": 2.0}
+        )
+        diff = diff_bench(fresh, base, threshold=0.25)
+        assert diff["regressions"] == []
+        statuses = {e["bench"]: e["status"] for e in diff["entries"]}
+        assert statuses["fig14"] == "improved"
+        assert statuses["fig07"] == "missing-fresh"
+        assert statuses["fig16"] == "no-baseline"
+
+    def test_jobs_mismatch_noted(self, tmp_path):
+        from repro.exec import diff_bench, write_bench
+
+        write_bench("fig14", 10.0, directory=str(tmp_path / "base"), jobs=1, rows=10)
+        write_bench("fig14", 10.5, directory=str(tmp_path / "fresh"), jobs=4, rows=10)
+        diff = diff_bench(str(tmp_path / "fresh"), str(tmp_path / "base"))
+        assert any("jobs differ" in n for n in diff["entries"][0]["notes"])
+
+    def test_cli_exit_codes_and_report(self, tmp_path, capsys):
+        from repro.exec.bench import main
+
+        fresh, base = self._dirs(tmp_path, {"fig14": 10.0}, {"fig14": 30.0})
+        out = tmp_path / "DIFF.md"
+        rc = main(["--fresh", fresh, "--baseline", base, "--out", str(out)])
+        assert rc == 1
+        report = out.read_text()
+        assert "REGRESSION" in report and "fig14" in report
+        ok = main(["--fresh", base, "--baseline", base])
+        assert ok == 0

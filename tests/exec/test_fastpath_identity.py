@@ -1,0 +1,88 @@
+"""The fast-path correctness bar: cached routing and bucketed FR-FCFS
+change nothing.
+
+The packet-model fast path (``NetworkConfig.route_cache`` +
+``HMCConfig.frfcfs_fast_scan``) must produce byte-identical experiment
+rows to the reference scan paths — across organizations (fig14, which
+includes the UMN pass-through overlay), data distributions (fig07), and
+topologies (fig16), and for both minimal and adaptive routing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments import (
+    fig07_remote_access,
+    fig14_organizations,
+    fig16_fig17_topologies,
+)
+from repro.system.configs import get_spec
+from repro.system.run import run_workload
+from repro.workloads.suite import get_workload
+
+from tests.conftest import tiny_system_config
+
+WORKLOADS = ("VEC", "BP")
+SCALE = 0.05
+
+
+def _cfg(fast: bool, num_gpus: int = 2):
+    cfg = tiny_system_config(num_gpus=num_gpus, num_sms=2)
+    return dataclasses.replace(
+        cfg,
+        network=dataclasses.replace(cfg.network, route_cache=fast),
+        hmc=dataclasses.replace(cfg.hmc, frfcfs_fast_scan=fast),
+    )
+
+
+def _compare(run_fn, num_gpus: int = 2):
+    fast = run_fn(_cfg(fast=True, num_gpus=num_gpus))
+    reference = run_fn(_cfg(fast=False, num_gpus=num_gpus))
+    assert fast.rows == reference.rows
+    assert fast.notes == reference.notes
+
+
+def test_fig14_rows_identical():
+    _compare(
+        lambda cfg: fig14_organizations.run(scale=SCALE, workloads=WORKLOADS, cfg=cfg)
+    )
+
+
+def test_fig07_rows_identical():
+    # fig07's data distributions span 4 GPU clusters.
+    _compare(
+        lambda cfg: fig07_remote_access.run(num_ctas=16, lines_per_cta=4, cfg=cfg),
+        num_gpus=4,
+    )
+
+
+def test_fig16_rows_identical():
+    _compare(
+        lambda cfg: fig16_fig17_topologies.run(
+            scale=SCALE, workloads=("VEC",), cfg=cfg
+        )
+    )
+
+
+def test_adaptive_routing_identical():
+    # UGAL keeps its dynamic queue-sensitive decisions; only the static
+    # pieces (candidate sets, minimum distances) are cached.
+    spec = get_spec("GMN").with_(routing="ugal")
+    results = [
+        run_workload(spec, get_workload("BP", SCALE), cfg=_cfg(fast))
+        for fast in (True, False)
+    ]
+    assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
+
+
+def test_umn_overlay_adaptive_identical():
+    # The UMN overlay exercises pass-through chains (CPU host phases ride
+    # them); combined with adaptive routing this covers every routing
+    # decision point the cache touches.
+    spec = get_spec("UMN").with_(routing="ugal")
+    results = [
+        run_workload(spec, get_workload("BP", SCALE), cfg=_cfg(fast))
+        for fast in (True, False)
+    ]
+    assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
