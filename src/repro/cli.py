@@ -9,6 +9,8 @@ Examples::
     repro fig14 --cache        # reuse results across repeated invocations
     repro run KMN --arch UMN   # run one workload on one architecture
     repro run VEC --arch UMN --trace t.json --timeseries --profile
+    repro run KMN --arch UMN --dump-spec spec.json   # export, don't simulate
+    repro run --spec spec.json # execute a canonical SystemSpec file
     repro all --jobs 8         # run every experiment (slow)
 
 Performance flags (``all`` and every experiment subcommand):
@@ -39,14 +41,16 @@ import sys
 import time
 from typing import List, Optional
 
+from .errors import ConfigError
 from .exec import ResultCache, jobs_from_env, write_bench
 from .exec import runtime as exec_runtime
 from .experiments import EXPERIMENTS
 from .obs import Observability, default_observability
-from .system.configs import TABLE_III, get_spec
+from .system.configs import available_archs, get_spec
 from .system.report import system_report
 from .system.run import run_workload_detailed
-from .workloads.suite import WORKLOAD_NAMES, get_workload
+from .system.spec import SystemSpec, WorkloadRef
+from .workloads.suite import WORKLOAD_NAMES
 
 #: Experiments whose runner takes a ``scale`` parameter.
 _SCALED = {"fig10", "fig14", "fig16", "fig17", "fig18", "sec3b", "ext-mapping"}
@@ -215,12 +219,32 @@ def _run_experiment(
 
 
 def _run_one(args) -> int:
-    """The ``repro run`` subcommand: one workload on one architecture."""
+    """The ``repro run`` subcommand: one workload on one architecture,
+    from flags or from a canonical SystemSpec file."""
+    if args.spec:
+        try:
+            spec = SystemSpec.load(args.spec)
+        except (OSError, ValueError, ConfigError) as exc:
+            print(f"error: cannot load spec {args.spec!r}: {exc}", file=sys.stderr)
+            return 2
+    elif args.workload:
+        spec = SystemSpec.make(
+            get_spec(args.arch), WorkloadRef(args.workload, args.scale)
+        )
+    else:
+        print("error: give a workload or --spec FILE.json", file=sys.stderr)
+        return 2
+    if args.dump_spec:
+        spec.save(args.dump_spec)
+        print(f"[spec {spec.label} -> {args.dump_spec}]")
+        return 0
     obs = _make_obs(args)
     result, system = run_workload_detailed(
-        get_spec(args.arch),
-        get_workload(args.workload, args.scale),
+        spec.arch,
+        spec.workload.build(),
+        cfg=spec.cfg,
         obs=obs,
+        **dict(spec.run_kwargs),
     )
     for key, value in result.as_row().items():
         print(f"{key:20s} {value}")
@@ -259,9 +283,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_obs_flags(p_all)
 
     p_run = sub.add_parser("run", help="run one workload on one architecture")
-    p_run.add_argument("workload", choices=WORKLOAD_NAMES + ["VEC"])
-    p_run.add_argument("--arch", default="UMN", choices=list(TABLE_III))
+    p_run.add_argument("workload", nargs="?", choices=WORKLOAD_NAMES + ["VEC"])
+    p_run.add_argument("--arch", default="UMN", choices=available_archs())
     p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE.json",
+        help="execute the canonical SystemSpec in FILE.json instead of "
+        "building one from workload/--arch/--scale",
+    )
+    p_run.add_argument(
+        "--dump-spec",
+        default=None,
+        metavar="OUT.json",
+        help="write the run's canonical SystemSpec JSON and exit without "
+        "simulating (replayable with --spec)",
+    )
     p_run.add_argument(
         "--report",
         default=None,
@@ -276,7 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command in (None, "list"):
         print("experiments:", ", ".join(EXPERIMENTS))
         print("workloads:  ", ", ".join(WORKLOAD_NAMES))
-        print("architectures:", ", ".join(TABLE_III))
+        print("architectures:", ", ".join(available_archs()))
         return 0
     if args.command == "all":
         obs = _make_obs(args)

@@ -20,7 +20,7 @@ Byte offset.  Reading LSB-up, a physical address interleaves:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..errors import AddressError
 from ..mem import DecodedAddress

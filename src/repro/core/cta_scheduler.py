@@ -16,7 +16,7 @@ Three policies from the paper:
 from __future__ import annotations
 
 import collections
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, List, Optional
 
 from ..errors import SchedulerError
 

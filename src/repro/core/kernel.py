@@ -11,8 +11,8 @@ section 2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
 
 from ..errors import ConfigError
 from ..mem import AccessType

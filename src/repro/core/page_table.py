@@ -20,7 +20,7 @@ Placement policies decide which **cluster** backs each virtual page:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..errors import AddressError, ConfigError
 from .address import AddressMapping

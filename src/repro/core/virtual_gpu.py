@@ -12,7 +12,7 @@ assumes.
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Sequence
 
 from ..errors import SimulationError

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Optional, Sequence, Tuple
 
 from ..config import CacheConfig, CPUConfig
 from ..errors import SimulationError

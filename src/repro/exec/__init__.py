@@ -25,7 +25,7 @@ from .bench import (
 )
 from .cache import CacheStats, ResultCache, code_version, job_fingerprint, job_key
 from .executor import JOBS_ENV, SweepExecutor, jobs_from_env
-from .jobs import SweepJob, WorkloadRef, execute_job
+from .jobs import SweepJob, SystemSpec, WorkloadRef, execute_job
 from .runtime import (
     CACHE_DIR_ENV,
     default_executor,
@@ -43,6 +43,7 @@ __all__ = [
     "ResultCache",
     "SweepExecutor",
     "SweepJob",
+    "SystemSpec",
     "WorkloadRef",
     "bench_name_for_module",
     "bench_record",

@@ -17,12 +17,14 @@ Results are stored pickled — in memory always, and under a directory when
 one is given (``--cache DIR`` / ``REPRO_CACHE_DIR``) so hits survive
 across invocations.  ``get`` always unpickles a fresh copy, so a cached
 result can be mutated by its consumer without corrupting the cache.
+
+The identity half of the key is *not* computed here: it is the canonical
+:meth:`~repro.system.spec.SystemSpec.to_dict` form of the job's spec, so
+anything that round-trips to the same canonical spec hits the same entry.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 import os
@@ -35,9 +37,9 @@ from typing import Any, Dict, Optional
 from ..system.metrics import RunResult
 from .jobs import SweepJob
 
-#: Bump when the cached payload's semantics change (e.g. new RunResult
-#: fields with behavior-affecting defaults).
-CACHE_SCHEMA = 1
+#: Bump when the cached payload's semantics or the fingerprint layout
+#: change (e.g. new RunResult fields with behavior-affecting defaults).
+CACHE_SCHEMA = 2
 
 _code_digest: Optional[str] = None
 
@@ -56,31 +58,13 @@ def code_version() -> str:
     return _code_digest
 
 
-def _canonical(value: Any) -> Any:
-    """Reduce a value to JSON-stable primitives for hashing."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        body = {f.name: _canonical(getattr(value, f.name)) for f in dataclasses.fields(value)}
-        return {"__type__": type(value).__name__, **body}
-    if isinstance(value, enum.Enum):
-        return f"{type(value).__name__}.{value.name}"
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    return repr(value)
-
-
 def job_fingerprint(job: SweepJob) -> Dict[str, Any]:
-    """The full identity of a job, as a JSON-serializable dict."""
+    """The full identity of a job, as a JSON-serializable dict: the
+    canonical system spec plus this cache's schema and the code digest."""
     return {
         "schema": CACHE_SCHEMA,
         "code": code_version(),
-        "spec": _canonical(job.spec),
-        "cfg": _canonical(job.cfg),
-        "workload": _canonical(job.workload.describe()),
-        "run_kwargs": _canonical(dict(job.run_kwargs)),
+        "system": job.system.to_dict(),
     }
 
 

@@ -1,61 +1,27 @@
 """Sweep jobs: the picklable unit of work the executor fans out.
 
-A :class:`SweepJob` describes one ``run_workload`` invocation as *data*
-(architecture spec, workload reference, system config, extra keyword
-arguments) so it can cross a process boundary and be hashed into a cache
-key.  Workloads themselves are not picklable — their CTA programs are
-closures — so jobs carry a :class:`WorkloadRef` that rebuilds the workload
-inside the worker, either from the Table II registry (name + scale) or
-from an explicit ``module:function`` factory.
+A :class:`SweepJob` is one canonical
+:class:`~repro.system.spec.SystemSpec` plus a display tag: the spec
+describes one ``run_workload`` invocation as *data* (architecture spec,
+workload reference, system config, extra keyword arguments) so it can
+cross a process boundary and be hashed into a cache key.  Workloads
+themselves are not picklable — their CTA programs are closures — so the
+spec carries a :class:`~repro.system.spec.WorkloadRef` that rebuilds the
+workload inside the worker, either from the Table II registry
+(name + scale) or from an explicit ``module:function`` factory.
 """
 
 from __future__ import annotations
 
-import importlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from ..config import SystemConfig
 from ..system.configs import ArchSpec
 from ..system.metrics import RunResult
+from ..system.spec import SystemSpec, WorkloadRef
 
-
-@dataclass(frozen=True)
-class WorkloadRef:
-    """A picklable, hashable recipe for building a workload.
-
-    With only ``name``/``scale`` the workload comes from
-    :func:`repro.workloads.suite.get_workload`.  A ``factory`` of the form
-    ``"package.module:function"`` overrides that (e.g. the Fig. 7
-    vectorAdd microbenchmark) and receives ``kwargs``.
-    """
-
-    name: str
-    scale: float = 1.0
-    factory: Optional[str] = None
-    kwargs: Tuple[Tuple[str, Any], ...] = ()
-
-    def build(self):
-        if self.factory is not None:
-            module_name, _, func_name = self.factory.partition(":")
-            if not func_name:
-                raise ValueError(
-                    f"factory must look like 'module:function', got {self.factory!r}"
-                )
-            func = getattr(importlib.import_module(module_name), func_name)
-            return func(**dict(self.kwargs))
-        from ..workloads.suite import get_workload
-
-        return get_workload(self.name, self.scale)
-
-    def describe(self) -> Dict[str, Any]:
-        """Stable description used for cache keying."""
-        return {
-            "name": self.name,
-            "scale": self.scale,
-            "factory": self.factory,
-            "kwargs": dict(self.kwargs),
-        }
+__all__ = ["SweepJob", "WorkloadRef", "SystemSpec", "execute_job"]
 
 
 @dataclass(frozen=True)
@@ -63,13 +29,10 @@ class SweepJob:
     """One independent simulation point of a sweep.
 
     ``tag`` is a free-form label for progress display and debugging; it is
-    *not* part of the cache identity.
+    *not* part of the cache identity (the :class:`SystemSpec` is).
     """
 
-    spec: ArchSpec
-    workload: WorkloadRef
-    cfg: SystemConfig
-    run_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    system: SystemSpec
     tag: Optional[str] = field(default=None, compare=False)
 
     @classmethod
@@ -83,24 +46,34 @@ class SweepJob:
     ) -> "SweepJob":
         """Ergonomic constructor: keyword arguments become ``run_kwargs``."""
         return cls(
-            spec=spec,
-            workload=workload,
-            cfg=cfg,
-            run_kwargs=tuple(sorted(run_kwargs.items())),
-            tag=tag,
+            system=SystemSpec.make(spec, workload, cfg, **run_kwargs), tag=tag
         )
+
+    # -- the spec's pieces, exposed flat for sweep code -----------------
+    @property
+    def spec(self) -> ArchSpec:
+        return self.system.arch
+
+    @property
+    def workload(self) -> WorkloadRef:
+        return self.system.workload
+
+    @property
+    def cfg(self) -> SystemConfig:
+        return self.system.cfg
+
+    @property
+    def run_kwargs(self) -> Tuple[Tuple[str, Any], ...]:
+        return self.system.run_kwargs
 
     @property
     def label(self) -> str:
-        return self.tag or f"{self.workload.name}@{self.spec.name}"
+        return self.tag or self.system.label
 
 
 def execute_job(job: SweepJob) -> RunResult:
     """Run one sweep job to completion (in this process)."""
-    from ..system.run import run_workload
-
-    kwargs = {k: v for k, v in job.run_kwargs}
-    return run_workload(job.spec, job.workload.build(), cfg=job.cfg, **kwargs)
+    return job.system.run()
 
 
 def _worker_initializer() -> None:

@@ -1,4 +1,5 @@
-"""Shared experiment plumbing: result tables, rendering, and export."""
+"""Shared experiment plumbing: result tables, rendering, export, and
+sweep-job construction from canonical specs."""
 
 from __future__ import annotations
 
@@ -6,7 +7,12 @@ import csv
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..config import SystemConfig
+from ..exec.jobs import SweepJob
+from ..system.configs import ArchSpec, get_spec
+from ..system.spec import SystemSpec, WorkloadRef
 
 
 @dataclass
@@ -105,6 +111,31 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3g}"
     return str(value)
+
+
+def job_for(
+    arch: Union[str, ArchSpec],
+    workload: Union[str, WorkloadRef],
+    cfg: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    tag: Optional[str] = None,
+    **run_kwargs: Any,
+) -> SweepJob:
+    """Build one sweep job from its canonical spec pieces.
+
+    ``arch`` may be a Table III / registered architecture name (resolved
+    through :func:`repro.system.configs.get_spec`) or an explicit
+    :class:`ArchSpec`; ``workload`` a Table II name (wrapped in a
+    :class:`WorkloadRef` at ``scale``) or an explicit ref.  Keyword
+    arguments become the job's ``run_kwargs``.
+    """
+    if isinstance(arch, str):
+        arch = get_spec(arch)
+    if isinstance(workload, str):
+        workload = WorkloadRef(workload, scale)
+    return SweepJob(
+        system=SystemSpec.make(arch, workload, cfg, **run_kwargs), tag=tag
+    )
 
 
 def normalize(values: Sequence[float], to: Optional[float] = None) -> List[float]:

@@ -18,14 +18,13 @@ import random
 from typing import Optional, Sequence
 
 from ..config import NetworkConfig, SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
+from ..exec import SweepExecutor, default_executor
 from ..network.flitnet import FlitNetwork
 from ..network.network import MemoryNetwork
 from ..network.packet import Packet, PacketKind, reset_packet_ids
 from ..network.topologies import build_topology
 from ..sim.engine import Simulator
-from ..system.configs import get_spec
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 LOADS = (0.1, 0.4, 0.8)
 
@@ -83,10 +82,11 @@ def run(
             ratio=round(flit / pkt, 2) if pkt else 0.0,
         )
     jobs = [
-        SweepJob.make(
-            get_spec("GMN"),
-            WorkloadRef(name, scale),
+        job_for(
+            "GMN",
+            name,
             dataclasses.replace(cfg, network_model=model),
+            scale=scale,
         )
         for name in workloads
         for model in ("packet", "flit")

@@ -12,7 +12,7 @@ with the highest bisection.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..config import NetworkConfig
 from ..network.network import MemoryNetwork

@@ -16,9 +16,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
-from ..system.configs import get_spec
-from .common import ExperimentResult
+from ..exec import SweepExecutor, default_executor
+from .common import ExperimentResult, job_for
 
 DEFAULT_WORKLOADS = ("BP", "SCAN", "3DFD", "SRAD", "KMN", "CG.S")
 
@@ -42,12 +41,7 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(
-            get_spec(arch),
-            WorkloadRef(name, scale),
-            cfg,
-            placement_policy=policy,
-        )
+        job_for(arch, name, cfg, scale=scale, placement_policy=policy)
         for name in workloads
         for policy in ("random", "first_touch")
     ]

@@ -14,10 +14,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
-from ..system.configs import get_spec
+from ..exec import SweepExecutor, default_executor
 from ..system.metrics import geometric_mean
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 ARCHS = ("PCIe", "NVLink", "GMN", "UMN")
 DEFAULT_WORKLOADS = ("BP", "BFS", "KMN", "SCAN", "CP")
@@ -41,7 +40,7 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(get_spec(arch), WorkloadRef(name, scale), cfg)
+        job_for(arch, name, cfg, scale=scale)
         for name in workloads
         for arch in ARCHS
     ]

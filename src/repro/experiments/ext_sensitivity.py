@@ -19,9 +19,9 @@ import dataclasses
 from typing import Optional
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
+from ..exec import SweepExecutor, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 
 def _specs():
@@ -76,7 +76,7 @@ def run(
     variants = list(_variants(base))
     ref = WorkloadRef(workload, scale)
     jobs = [
-        SweepJob.make(spec, ref, variant)
+        job_for(spec, ref, variant)
         for _label, variant in variants
         for spec in _specs()
     ]

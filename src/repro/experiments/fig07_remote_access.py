@@ -19,9 +19,8 @@ import dataclasses
 from typing import Optional
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
-from ..system.configs import get_spec
-from .common import ExperimentResult
+from ..exec import SweepExecutor, WorkloadRef, default_executor
+from .common import ExperimentResult, job_for
 
 #: (label, per-cluster page weights) for the distribution sweep.
 DISTRIBUTIONS = [
@@ -58,8 +57,8 @@ def run(
     )
     systems = (("PCIe", cfg), ("GMN", gmn_cfg))
     jobs = [
-        SweepJob.make(
-            get_spec(arch),
+        job_for(
+            arch,
             workload,
             run_cfg,
             placement_policy="weighted",
@@ -87,7 +86,7 @@ def run(
             )
     pcie_rows = [r for r in result.rows if r["system"] == "PCIe"]
     result.note(
-        f"PCIe degradation at 4-way distribution: "
+        "PCIe degradation at 4-way distribution: "
         f"{pcie_rows[-1]['normalized_runtime']:.1f}x (paper: 11.7x)"
     )
     gmn_rows = [r for r in result.rows if r["system"] == "GMN"]

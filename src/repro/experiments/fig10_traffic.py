@@ -14,9 +14,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
-from ..system.configs import get_spec
-from .common import ExperimentResult
+from ..exec import SweepExecutor, default_executor
+from .common import ExperimentResult, job_for
 
 
 def _variance_stats(matrix: List[List[int]], hmcs_per_cluster: int = 4):
@@ -51,10 +50,11 @@ def run(
     )
     interleaves = ("line", "page") if include_ablation else ("line",)
     jobs = [
-        SweepJob.make(
-            get_spec("GMN"),
-            WorkloadRef(name, scale),
+        job_for(
+            "GMN",
+            name,
             cfg.scaled(intra_cluster_interleave=interleave),
+            scale=scale,
             collect_traffic=True,
         )
         for name in ("KMN", "CG.S")

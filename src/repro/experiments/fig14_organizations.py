@@ -15,11 +15,11 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
-from ..system.configs import TABLE_III, get_spec
+from ..exec import SweepExecutor, default_executor
+from ..system.configs import TABLE_III
 from ..system.metrics import RunResult, geometric_mean
 from ..workloads.suite import WORKLOAD_NAMES
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 ARCHS = list(TABLE_III)
 
@@ -42,7 +42,7 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(get_spec(arch), WorkloadRef(name, scale), cfg)
+        job_for(arch, name, cfg, scale=scale)
         for name in workloads
         for arch in ARCHS
     ]

@@ -11,9 +11,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
+from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 #: (workload, scale): CG.S needs its full (imbalanced) footprint.
 DEFAULT_POINTS: Sequence[Tuple[str, float]] = (
@@ -38,10 +38,11 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(
+        job_for(
             get_spec("GMN").with_(topology=topology, routing=routing),
-            WorkloadRef(name, scale),
+            name,
             cfg,
+            scale=scale,
         )
         for topology in ("ddfly", "dfbfly")
         for name, scale in points

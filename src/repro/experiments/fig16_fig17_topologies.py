@@ -12,10 +12,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
+from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import geometric_mean
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 TOPOLOGIES = ("smesh", "storus", "smesh-2x", "storus-2x", "sfbfly")
 DEFAULT_WORKLOADS = ("BP", "BFS", "KMN", "SCAN", "SRAD", "STO")
@@ -38,9 +38,7 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(
-            get_spec("GMN").with_(topology=topology), WorkloadRef(name, scale), cfg
-        )
+        job_for(get_spec("GMN").with_(topology=topology), name, cfg, scale=scale)
         for name in workloads
         for topology in TOPOLOGIES
     ]

@@ -13,9 +13,9 @@ import dataclasses
 from typing import Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
+from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 DESIGNS = ("smesh", "sfbfly", "overlay")
 
@@ -35,9 +35,7 @@ def run(
         paper_note="overlay > sFBFLY > sMESH for CG.S and FT.S host threads",
     )
     jobs = [
-        SweepJob.make(
-            get_spec("UMN").with_(topology=topology), WorkloadRef(name, scale), cfg
-        )
+        job_for(get_spec("UMN").with_(topology=topology), name, cfg, scale=scale)
         for name in workloads
         for topology in DESIGNS
     ]

@@ -16,10 +16,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
-from ..system.configs import get_spec
+from ..exec import SweepExecutor, default_executor
 from ..system.metrics import geometric_mean
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 #: Input scale per workload (FWT deliberately small, per the paper).
 DEFAULT_SCALES: Dict[str, float] = {
@@ -53,9 +52,7 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(
-            get_spec("UMN"), WorkloadRef(name, scale), base_cfg.scaled(num_gpus=n)
-        )
+        job_for("UMN", name, base_cfg.scaled(num_gpus=n), scale=scale)
         for name, scale in scales.items()
         for n in gpu_counts
     ]

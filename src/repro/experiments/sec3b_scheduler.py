@@ -11,10 +11,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
-from ..exec import SweepExecutor, SweepJob, WorkloadRef, default_executor
+from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import RunResult, geometric_mean
-from .common import ExperimentResult
+from .common import ExperimentResult, job_for
 
 POLICIES = ("static", "round_robin", "stealing")
 DEFAULT_WORKLOADS = ("BP", "SRAD", "KMN", "SCAN", "3DFD", "FWT", "STO", "CP")
@@ -37,9 +37,7 @@ def run(
         ),
     )
     jobs = [
-        SweepJob.make(
-            get_spec("UMN").with_(cta_policy=policy), WorkloadRef(name, scale), cfg
-        )
+        job_for(get_spec("UMN").with_(cta_policy=policy), name, cfg, scale=scale)
         for name in workloads
         for policy in POLICIES
     ]

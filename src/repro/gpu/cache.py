@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..config import CacheConfig
-from ..errors import ConfigError
 
 
 @dataclass

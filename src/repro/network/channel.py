@@ -11,8 +11,7 @@ authors' booksim setup (see DESIGN.md section 2).
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..units import bytes_per_ps
 

@@ -26,8 +26,7 @@ it for validation studies and latency-sensitive experiments.
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..config import NetworkConfig
 from ..errors import SimulationError

@@ -24,7 +24,7 @@ from ..errors import RoutingError, SimulationError
 from ..sim.engine import Simulator
 from .channel import Channel
 from .packet import Packet
-from .routing import MinimalRouting, make_routing
+from .routing import make_routing
 from .topology import Topology
 
 PacketHandler = Callable[[Packet], None]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import RoutingError, TopologyError
 from .channel import Channel

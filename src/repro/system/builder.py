@@ -4,14 +4,17 @@ The system always contains ``num_gpus + 1`` memory clusters of
 ``hmcs_per_gpu`` HMCs each — one cluster per GPU plus the CPU's cluster —
 addressed through the shared :class:`~repro.core.address.AddressMapping`.
 What differs between organizations (Fig. 8) is *how a request reaches its
-HMC*:
+HMC*, and that is entirely the business of the organization's
+:class:`~repro.system.fabric.Fabric` strategy (see
+:mod:`repro.system.fabric`):
 
 ================  =======================================================
-organization      request paths
+organization      request paths (fabric)
 ================  =======================================================
 PCIe (baseline)   own cluster: direct links; any remote cluster: PCIe to
                   the owning device, which forwards to its local HMC
                   (Fig. 9(a))
+PCN (extension)   as PCIe, but over dedicated NVLink-style links
 CMN               own cluster: direct links; CPU cluster: the CPU memory
                   network; remote GPU cluster: network to the remote GPU,
                   which forwards (the PCIe bottleneck is gone but remote
@@ -21,12 +24,14 @@ GMN               any GPU cluster: the GPU memory network (Fig. 9(b));
 UMN               everything: one unified memory network; CPU requests may
                   ride the pass-through overlay
 ================  =======================================================
+
+:class:`MultiGPUSystem` itself only constructs the shared components
+(HMCs, GPUs, CPU, address mapping, metrics) and delegates to the fabric
+the registry hands it — it contains no per-organization branches.
 """
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -35,98 +40,26 @@ from ..core.address import AddressMapping
 from ..core.page_table import PagePlacement, PageTable
 from ..core.virtual_gpu import VirtualGPU
 from ..cpu.host import HostCPU
-from ..errors import ConfigError, SimulationError
+from ..errors import SimulationError
 from ..gpu.gpu import GPU
 from ..hmc.hmc import HMC
-from ..mem import AccessType, DecodedAddress, MemoryAccess
+from ..mem import MemoryAccess
 from ..network.channel import Channel
 from ..network.network import MemoryNetwork
-from ..network.packet import (
-    Packet,
-    PacketKind,
-    request_size_bytes,
-    response_kind,
-    response_size_bytes,
-)
-from ..network.topologies import build_cmn, build_topology
 from ..obs import runtime as obs_runtime
 from ..obs.bind import Observability, register_system_metrics
 from ..obs.registry import MetricRegistry
 from ..obs.sampler import Sampler
 from ..pcie.pcie import PCIeSwitch
-from ..pcn.pcn import PCNFabric
+from ..pcn.pcn import PCNFabric as PCNLinks
 from ..sim.engine import Simulator
-from .configs import ArchSpec, Organization, TransferMode
-
-#: Cost of traversing a GPU on the way to its memory (remote access through
-#: a peer GPU, Fig. 9(a)): on-chip crossbar + memory-controller traversal.
-GPU_FORWARD_PS = 150_000  # 150 ns
-
-_DATACLASS_OPTS = {"slots": True} if sys.version_info >= (3, 10) else {}
-
-def _packet_kind(access_type: AccessType) -> PacketKind:
-    # ``is``-chain rather than an enum-keyed dict: Enum.__hash__ is a
-    # Python-level call and this runs multiple times per memory access.
-    if access_type is AccessType.READ:
-        return PacketKind.READ_REQ
-    if access_type is AccessType.WRITE:
-        return PacketKind.WRITE_REQ
-    return PacketKind.ATOMIC_REQ
-
-
-def _request_bytes(access: MemoryAccess, header: int) -> int:
-    kind = _packet_kind(access.type)
-    data = access.size if kind is not PacketKind.READ_REQ else 0
-    return request_size_bytes(kind, data, header)
-
-
-def _response_bytes(access: MemoryAccess, header: int) -> int:
-    kind = response_kind(_packet_kind(access.type))
-    data = access.size if kind is not PacketKind.WRITE_ACK else 0
-    return response_size_bytes(kind, data, header)
-
-
-@dataclass(**_DATACLASS_OPTS)
-class NetEnvelope:
-    """Payload wrapper for packets crossing the memory network."""
-
-    kind: str  # "req" | "resp" | "fwd_req"
-    access: MemoryAccess
-    reply_to: str = ""
-
-
-class DirectLink:
-    """A device's point-to-point connection to one local HMC (no network)."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        terminal: str,
-        hmc: HMC,
-        gbps: float,
-        width: int,
-        serdes_ps: int,
-        header_bytes: int,
-    ) -> None:
-        self.sim = sim
-        self.hmc = hmc
-        self.serdes_ps = serdes_ps
-        self.header_bytes = header_bytes
-        self.req = Channel(f"{terminal}=>{hmc.name}", terminal, hmc.name, gbps, width)
-        self.resp = Channel(f"{hmc.name}=>{terminal}", hmc.name, terminal, gbps, width)
-
-    def access(self, access: MemoryAccess, on_done: Callable[[], None]) -> None:
-        req_size = _request_bytes(access, self.header_bytes)
-        arrive = self.req.transmit(req_size, self.sim.now + self.serdes_ps)
-        self.sim.at(
-            arrive,
-            partial(self.hmc.access, access, partial(self._served, on_done)),
-        )
-
-    def _served(self, on_done: Callable[[], None], access: MemoryAccess) -> None:
-        resp_size = _response_bytes(access, self.header_bytes)
-        done_at = self.resp.transmit(resp_size, self.sim.now + self.serdes_ps)
-        self.sim.at(done_at, on_done)
+from .configs import ArchSpec, TransferMode
+from .fabric import make_fabric
+from .fabric.base import (  # noqa: F401  (re-exported for compatibility)
+    GPU_FORWARD_PS,
+    DirectLink,
+    NetEnvelope,
+)
 
 
 class MultiGPUSystem:
@@ -167,14 +100,16 @@ class MultiGPUSystem:
         self.cpu = HostCPU(self.sim, self.cfg.cpu)
         self.vgpu = VirtualGPU(self.sim, self.gpus, policy=spec.cta_policy)
 
+        #: Interconnect components, populated by the fabric's build().
         self.network: Optional[MemoryNetwork] = None
         self.pcie: Optional[PCIeSwitch] = None
-        self.pcn: Optional[PCNFabric] = None
+        self.pcn: Optional[PCNLinks] = None
         self._direct_links: Dict[Tuple[str, int, int], DirectLink] = {}
         self._pending: Dict[int, Callable[[], None]] = {}
         self.page_table: Optional[PageTable] = None
 
-        self._build_interconnect()
+        self.fabric = make_fabric(self)
+        self.fabric.build()
         self._wire_ports()
 
         #: Every component's stats behind one queryable tree (repro.obs).
@@ -185,121 +120,6 @@ class MultiGPUSystem:
         self.obs = obs if obs is not None else obs_runtime.get_default()
         if self.obs is not None:
             self.obs.bind(self)
-
-    # ------------------------------------------------------------------
-    # Interconnect construction
-    # ------------------------------------------------------------------
-    def _build_interconnect(self) -> None:
-        org = self.spec.organization
-        netcfg = self.cfg.network
-        if org is Organization.PCIE:
-            self._build_pcie_switch()
-            for g in range(self.num_gpus):
-                self._build_direct_links(f"gpu{g}", g)
-            self._build_direct_links("cpu", self.cpu_cluster)
-        elif org is Organization.PCN:
-            self.pcn = PCNFabric(
-                self.sim, [f"gpu{g}" for g in range(self.num_gpus)], self.cfg.pcn
-            )
-            for g in range(self.num_gpus):
-                self._build_direct_links(f"gpu{g}", g)
-            self._build_direct_links("cpu", self.cpu_cluster)
-        elif org is Organization.CMN:
-            topo = build_cmn(
-                self.num_gpus,
-                hmcs_per_cpu=self.hmcs_per_cluster,
-                channel_gbps=netcfg.channel_gbps,
-                cpu_channels=self.cfg.cpu.num_channels,
-            )
-            self.network = self._make_network(topo, netcfg)
-            for lc in range(self.hmcs_per_cluster):
-                self._register_router(lc, self.hmcs[(self.cpu_cluster, lc)])
-            for g in range(self.num_gpus):
-                self._build_direct_links(f"gpu{g}", g)
-                self.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
-            self.network.set_terminal_handler("cpu", self._on_terminal_packet)
-        elif org is Organization.GMN:
-            topo = build_topology(
-                self.spec.topology,
-                num_gpus=self.num_gpus,
-                hmcs_per_gpu=self.hmcs_per_cluster,
-                include_cpu=False,
-                channel_gbps=netcfg.channel_gbps,
-                gpu_channels=self.cfg.gpu.num_channels,
-            )
-            self.network = self._make_network(topo, netcfg)
-            for c in range(self.num_gpus):
-                for lc in range(self.hmcs_per_cluster):
-                    self._register_router(
-                        c * self.hmcs_per_cluster + lc, self.hmcs[(c, lc)]
-                    )
-            for g in range(self.num_gpus):
-                self.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
-            self._build_direct_links("cpu", self.cpu_cluster)
-            self._build_pcie_switch()
-        elif org is Organization.UMN:
-            topo = build_topology(
-                self.spec.topology,
-                num_gpus=self.num_gpus,
-                hmcs_per_gpu=self.hmcs_per_cluster,
-                include_cpu=True,
-                channel_gbps=netcfg.channel_gbps,
-                gpu_channels=self.cfg.gpu.num_channels,
-                cpu_channels=self.cfg.cpu.num_channels,
-            )
-            self.network = self._make_network(topo, netcfg)
-            for c in range(self.num_gpus + 1):
-                for lc in range(self.hmcs_per_cluster):
-                    self._register_router(
-                        c * self.hmcs_per_cluster + lc, self.hmcs[(c, lc)]
-                    )
-            for g in range(self.num_gpus):
-                self.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
-            self.network.set_terminal_handler("cpu", self._on_terminal_packet)
-        else:  # pragma: no cover
-            raise ConfigError(f"unknown organization {org}")
-
-    def _make_network(self, topo, netcfg) -> MemoryNetwork:
-        """Instantiate the configured network engine: the fast packet-level
-        model (default) or the flit-level wormhole/VC/credit model."""
-        if self.cfg.network_model == "flit":
-            from ..network.flitnet import FlitNetwork
-
-            return FlitNetwork(self.sim, topo, netcfg, routing=self.spec.routing)
-        if self.cfg.network_model != "packet":
-            raise ConfigError(
-                f"unknown network model {self.cfg.network_model!r}; "
-                "expected 'packet' or 'flit'"
-            )
-        return MemoryNetwork(self.sim, topo, netcfg, routing=self.spec.routing)
-
-    def _build_pcie_switch(self) -> None:
-        self.pcie = PCIeSwitch(self.sim, self.cfg.pcie)
-        self.pcie.attach("cpu")
-        for g in range(self.num_gpus):
-            self.pcie.attach(f"gpu{g}")
-
-    def _build_direct_links(self, terminal: str, cluster: int) -> None:
-        channels = (
-            self.cfg.cpu.num_channels if terminal == "cpu" else self.cfg.gpu.num_channels
-        )
-        width = max(1, channels // self.hmcs_per_cluster)
-        for lc in range(self.hmcs_per_cluster):
-            self._direct_links[(terminal, cluster, lc)] = DirectLink(
-                self.sim,
-                terminal,
-                self.hmcs[(cluster, lc)],
-                self.cfg.network.channel_gbps,
-                width,
-                self.cfg.network.serdes_ps,
-                self.cfg.network.header_bytes,
-            )
-
-    def _register_router(self, router: int, hmc: HMC) -> None:
-        assert self.network is not None
-        self.network.set_router_handler(
-            router, partial(self._on_router_packet, router, hmc)
-        )
 
     # ------------------------------------------------------------------
     # Page table / placement
@@ -341,7 +161,7 @@ class MultiGPUSystem:
         return self.page_table
 
     # ------------------------------------------------------------------
-    # Memory ports
+    # Memory ports (delegation to the fabric)
     # ------------------------------------------------------------------
     def _wire_ports(self) -> None:
         for gpu in self.gpus:
@@ -358,271 +178,12 @@ class MultiGPUSystem:
     ) -> None:
         if access.decoded is None:
             raise SimulationError("GPU request without decoded address")
-        cluster = access.decoded.cluster
-        terminal = f"gpu{gpu_id}"
-        org = self.spec.organization
-        if org is Organization.PCIE:
-            if cluster == gpu_id:
-                self._direct(terminal, access, on_done)
-            else:
-                owner = "cpu" if cluster == self.cpu_cluster else f"gpu{cluster}"
-                self._pcie_forwarded(terminal, owner, access, on_done)
-        elif org is Organization.PCN:
-            if cluster == gpu_id:
-                self._direct(terminal, access, on_done)
-            else:
-                owner = "cpu" if cluster == self.cpu_cluster else f"gpu{cluster}"
-                self._pcn_forwarded(terminal, owner, access, on_done)
-        elif org is Organization.CMN:
-            if cluster == gpu_id:
-                self._direct(terminal, access, on_done)
-            elif cluster == self.cpu_cluster:
-                self._net_request(terminal, access, on_done, router=access.decoded.local_hmc)
-            else:
-                self._net_forwarded(terminal, f"gpu{cluster}", access, on_done)
-        elif org is Organization.GMN:
-            if cluster == self.cpu_cluster:
-                self._pcie_forwarded(terminal, "cpu", access, on_done)
-            else:
-                self._net_request(terminal, access, on_done)
-        else:  # UMN
-            self._net_request(terminal, access, on_done)
+        self.fabric.gpu_request(gpu_id, access, on_done)
 
     def _cpu_port(self, access: MemoryAccess, on_done: Callable[[], None]) -> None:
         if access.decoded is None:
             raise SimulationError("CPU request without decoded address")
-        access = self._host_view(access)
-        cluster = access.decoded.cluster
-        org = self.spec.organization
-        if org is Organization.UMN:
-            self._net_request("cpu", access, on_done, pass_through=True)
-        elif org is Organization.CMN:
-            if cluster == self.cpu_cluster:
-                self._net_request("cpu", access, on_done, router=access.decoded.local_hmc)
-            else:
-                self._net_forwarded("cpu", f"gpu{cluster}", access, on_done)
-        else:  # PCIe / PCN / GMN: host data lives in (or was copied to) CPU memory
-            if cluster == self.cpu_cluster:
-                self._direct("cpu", access, on_done)
-            elif org is Organization.PCN:
-                self._pcn_forwarded("cpu", f"gpu{cluster}", access, on_done)
-            else:
-                self._pcie_forwarded("cpu", f"gpu{cluster}", access, on_done)
-
-    def _host_view(self, access: MemoryAccess) -> MemoryAccess:
-        """Under memcpy transfer, the host works on its own copy in CPU
-        memory, so host accesses to kernel buffers are served by the CPU
-        cluster."""
-        if (
-            self.spec.transfer is TransferMode.MEMCPY
-            and access.decoded is not None
-            and access.decoded.cluster != self.cpu_cluster
-        ):
-            decoded = DecodedAddress(
-                cluster=self.cpu_cluster,
-                local_hmc=access.decoded.local_hmc,
-                vault=access.decoded.vault,
-                bank=access.decoded.bank,
-                row=access.decoded.row,
-            )
-            return MemoryAccess(
-                paddr=access.paddr,
-                size=access.size,
-                type=access.type,
-                requester=access.requester,
-                decoded=decoded,
-                aid=access.aid,
-            )
-        return access
-
-    # ------------------------------------------------------------------
-    # Transport primitives
-    # ------------------------------------------------------------------
-    def _direct(
-        self, terminal: str, access: MemoryAccess, on_done: Callable[[], None]
-    ) -> None:
-        decoded = access.decoded
-        link = self._direct_links[(terminal, decoded.cluster, decoded.local_hmc)]
-        link.access(access, on_done)
-
-    def _router_of(self, decoded: DecodedAddress) -> int:
-        return decoded.cluster * self.hmcs_per_cluster + decoded.local_hmc
-
-    def _net_request(
-        self,
-        terminal: str,
-        access: MemoryAccess,
-        on_done: Callable[[], None],
-        router: Optional[int] = None,
-        pass_through: bool = False,
-    ) -> None:
-        assert self.network is not None
-        dst = self._router_of(access.decoded) if router is None else router
-        self._pending[access.aid] = on_done
-        packet = Packet(
-            kind=_packet_kind(access.type),
-            src=terminal,
-            dst=dst,
-            size_bytes=_request_bytes(access, self.cfg.network.header_bytes),
-            payload=NetEnvelope("req", access, reply_to=terminal),
-            pass_through=pass_through,
-        )
-        self.network.send(packet)
-
-    def _net_forwarded(
-        self,
-        terminal: str,
-        owner_terminal: str,
-        access: MemoryAccess,
-        on_done: Callable[[], None],
-    ) -> None:
-        """CMN: reach a remote GPU's memory through the network and the
-        remote GPU itself (no direct HMC-to-HMC path exists)."""
-        assert self.network is not None
-        self._pending[access.aid] = on_done
-        packet = Packet(
-            kind=_packet_kind(access.type),
-            src=terminal,
-            dst=owner_terminal,
-            size_bytes=_request_bytes(access, self.cfg.network.header_bytes),
-            payload=NetEnvelope("fwd_req", access, reply_to=terminal),
-        )
-        self.network.send(packet)
-
-    def _pcie_forwarded(
-        self,
-        terminal: str,
-        owner_terminal: str,
-        access: MemoryAccess,
-        on_done: Callable[[], None],
-    ) -> None:
-        """Conventional path: PCIe to the owning device, which forwards the
-        request to its local HMC and returns the response over PCIe."""
-        assert self.pcie is not None
-        req_bytes = _request_bytes(access, self.cfg.network.header_bytes)
-        self.pcie.transaction(
-            terminal,
-            owner_terminal,
-            req_bytes,
-            partial(
-                self._fwd_at_owner, self.pcie, terminal, owner_terminal, access, on_done
-            ),
-        )
-
-    def _pcn_forwarded(
-        self,
-        terminal: str,
-        owner_terminal: str,
-        access: MemoryAccess,
-        on_done: Callable[[], None],
-    ) -> None:
-        """NVLink-style path: the dedicated point-to-point link to the
-        owning processor, which forwards to its local HMC (extension)."""
-        assert self.pcn is not None
-        req_bytes = _request_bytes(access, self.cfg.network.header_bytes)
-        self.pcn.transaction(
-            terminal,
-            owner_terminal,
-            req_bytes,
-            partial(
-                self._fwd_at_owner, self.pcn, terminal, owner_terminal, access, on_done
-            ),
-        )
-
-    def _fwd_at_owner(
-        self,
-        fabric,
-        terminal: str,
-        owner_terminal: str,
-        access: MemoryAccess,
-        on_done: Callable[[], None],
-    ) -> None:
-        """The request reached the owning device; forward to its local HMC
-        and send the response back over the same fabric."""
-        self.sim.after(
-            GPU_FORWARD_PS,
-            partial(
-                self._direct,
-                owner_terminal,
-                access,
-                partial(
-                    self._fwd_served, fabric, terminal, owner_terminal, access, on_done
-                ),
-            ),
-        )
-
-    def _fwd_served(
-        self,
-        fabric,
-        terminal: str,
-        owner_terminal: str,
-        access: MemoryAccess,
-        on_done: Callable[[], None],
-    ) -> None:
-        resp_bytes = _response_bytes(access, self.cfg.network.header_bytes)
-        self.sim.after(
-            GPU_FORWARD_PS,
-            partial(fabric.transaction, owner_terminal, terminal, resp_bytes, on_done),
-        )
-
-    # ------------------------------------------------------------------
-    # Network packet handlers
-    # ------------------------------------------------------------------
-    def _on_router_packet(self, router: int, hmc: HMC, packet: Packet) -> None:
-        envelope: NetEnvelope = packet.payload
-        if envelope.kind != "req":
-            raise SimulationError(f"router {router} received {envelope.kind} packet")
-        hmc.access(envelope.access, partial(self._hmc_served, router, packet))
-
-    def _hmc_served(self, router: int, packet: Packet, access: MemoryAccess) -> None:
-        assert self.network is not None
-        envelope: NetEnvelope = packet.payload
-        response = Packet(
-            kind=response_kind(packet.kind),
-            src=router,
-            dst=envelope.reply_to,
-            size_bytes=_response_bytes(access, self.cfg.network.header_bytes),
-            payload=NetEnvelope("resp", access),
-            pass_through=packet.pass_through,
-        )
-        self.network.send(response)
-
-    def _on_terminal_packet(self, packet: Packet) -> None:
-        envelope: NetEnvelope = packet.payload
-        access = envelope.access
-        if envelope.kind == "resp":
-            try:
-                on_done = self._pending.pop(access.aid)
-            except KeyError:
-                raise SimulationError(
-                    f"response for unknown access {access.aid}"
-                ) from None
-            on_done()
-        elif envelope.kind == "fwd_req":
-            owner = str(packet.dst)
-            self.sim.after(
-                GPU_FORWARD_PS,
-                partial(
-                    self._direct,
-                    owner,
-                    access,
-                    partial(self._fwd_req_served, owner, packet),
-                ),
-            )
-        else:
-            raise SimulationError(f"unexpected envelope kind {envelope.kind!r}")
-
-    def _fwd_req_served(self, owner: str, packet: Packet) -> None:
-        assert self.network is not None
-        envelope: NetEnvelope = packet.payload
-        response = Packet(
-            kind=response_kind(packet.kind),
-            src=owner,
-            dst=envelope.reply_to,
-            size_bytes=_response_bytes(envelope.access, self.cfg.network.header_bytes),
-            payload=NetEnvelope("resp", envelope.access),
-        )
-        self.sim.after(GPU_FORWARD_PS, partial(self.network.send, response))
+        self.fabric.cpu_request(access, on_done)
 
     # ------------------------------------------------------------------
     # Introspection helpers

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, List
 
 from ..errors import ConfigError
 
@@ -51,6 +51,29 @@ class ArchSpec:
             raise ConfigError("UMN shares physical memory; use NO_COPY")
         if self.organization is not Organization.UMN and self.transfer is TransferMode.NO_COPY:
             raise ConfigError("NO_COPY requires the unified memory network")
+        # Fail fast on names that would otherwise only blow up deep inside
+        # the builder / network / scheduler (lazy imports: these registries
+        # sit below repro.system in the import graph, but resolving them at
+        # module import time would still order-couple the packages).
+        from ..core.cta_scheduler import SCHEDULE_POLICIES
+        from ..network.routing import ROUTING_POLICIES
+        from ..network.topologies import BUILDERS
+
+        if self.topology not in BUILDERS:
+            raise ConfigError(
+                f"unknown topology {self.topology!r} for architecture "
+                f"{self.name!r}; valid: {sorted(BUILDERS)}"
+            )
+        if self.routing not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"unknown routing policy {self.routing!r} for architecture "
+                f"{self.name!r}; valid: {sorted(ROUTING_POLICIES)}"
+            )
+        if self.cta_policy not in SCHEDULE_POLICIES:
+            raise ConfigError(
+                f"unknown CTA policy {self.cta_policy!r} for architecture "
+                f"{self.name!r}; valid: {sorted(SCHEDULE_POLICIES)}"
+            )
 
     @property
     def has_network(self) -> bool:
@@ -84,13 +107,46 @@ EXTENSION_ARCHS: Dict[str, ArchSpec] = {
 }
 
 
+#: Case-folded name -> spec, over Table III, the extensions, and any
+#: fabric-registered architectures.  ``get_spec`` is one dict lookup.
+_SPEC_INDEX: Dict[str, ArchSpec] = {}
+
+
+def register_arch(spec: ArchSpec) -> ArchSpec:
+    """Make ``spec`` resolvable by name through :func:`get_spec`.
+
+    Fabric packages call this (via
+    :func:`repro.system.fabric.register_fabric`) to publish the
+    architectures they ship; re-registering the identical spec is a no-op,
+    a *different* spec under a taken name is an error.
+    """
+    key = spec.name.casefold()
+    existing = _SPEC_INDEX.get(key)
+    if existing is not None and existing != spec:
+        raise ConfigError(
+            f"architecture name {spec.name!r} is already registered "
+            f"(as {existing})"
+        )
+    _SPEC_INDEX[key] = spec
+    return spec
+
+
+for _spec_entry in (*TABLE_III.values(), *EXTENSION_ARCHS.values()):
+    register_arch(_spec_entry)
+del _spec_entry
+
+
+def available_archs() -> List[str]:
+    """Every resolvable architecture name, in registration order."""
+    return [spec.name for spec in _SPEC_INDEX.values()]
+
+
 def get_spec(name: str) -> ArchSpec:
-    """Look up an architecture by name (Table III + extensions)."""
-    for registry in (TABLE_III, EXTENSION_ARCHS):
-        for key, spec in registry.items():
-            if key.lower() == name.lower():
-                return spec
-    raise ConfigError(
-        f"unknown architecture {name!r}; available: "
-        f"{list(TABLE_III) + list(EXTENSION_ARCHS)}"
-    )
+    """Look up an architecture by case-insensitive name: Table III, the
+    extensions, and fabric-registered architectures."""
+    try:
+        return _SPEC_INDEX[name.casefold()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown architecture {name!r}; available: {available_archs()}"
+        ) from None

@@ -1,0 +1,56 @@
+"""The CPU memory network organization (Fig. 8(a)).
+
+The CPU's local HMCs form a small network that every GPU attaches to
+(replacing its PCIe link).  GPU clusters stay direct-attached; a remote
+GPU cluster is reached over the network to the remote GPU terminal,
+which forwards (the PCIe bottleneck is gone but remote-GPU traversal
+remains).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...mem import MemoryAccess
+from ...network.topologies import build_cmn
+from .base import Fabric
+
+
+class CMNFabric(Fabric):
+    def build(self) -> None:
+        system = self.system
+        netcfg = system.cfg.network
+        topo = build_cmn(
+            system.num_gpus,
+            hmcs_per_cpu=system.hmcs_per_cluster,
+            channel_gbps=netcfg.channel_gbps,
+            cpu_channels=system.cfg.cpu.num_channels,
+        )
+        system.network = self._make_network(topo, netcfg)
+        for lc in range(system.hmcs_per_cluster):
+            self._register_router(lc, system.hmcs[(system.cpu_cluster, lc)])
+        for g in range(system.num_gpus):
+            self._build_direct_links(f"gpu{g}", g)
+            system.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
+        system.network.set_terminal_handler("cpu", self._on_terminal_packet)
+
+    def gpu_request(
+        self, gpu_id: int, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        cluster = access.decoded.cluster
+        terminal = f"gpu{gpu_id}"
+        if cluster == gpu_id:
+            self._direct(terminal, access, on_done)
+        elif cluster == self.system.cpu_cluster:
+            self._net_request(terminal, access, on_done, router=access.decoded.local_hmc)
+        else:
+            self._net_forwarded(terminal, f"gpu{cluster}", access, on_done)
+
+    def _cpu_dispatch(
+        self, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        cluster = access.decoded.cluster
+        if cluster == self.system.cpu_cluster:
+            self._net_request("cpu", access, on_done, router=access.decoded.local_hmc)
+        else:
+            self._net_forwarded("cpu", f"gpu{cluster}", access, on_done)

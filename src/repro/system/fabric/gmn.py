@@ -1,0 +1,55 @@
+"""The GPU memory network organization (Fig. 8(b), Fig. 9(b)).
+
+All GPU clusters hang off one memory network; the CPU cluster stays
+outside it and is reached over PCIe to the CPU, which forwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...mem import MemoryAccess
+from ...network.topologies import build_topology
+from .base import Fabric
+
+
+class GMNFabric(Fabric):
+    def build(self) -> None:
+        system = self.system
+        netcfg = system.cfg.network
+        topo = build_topology(
+            system.spec.topology,
+            num_gpus=system.num_gpus,
+            hmcs_per_gpu=system.hmcs_per_cluster,
+            include_cpu=False,
+            channel_gbps=netcfg.channel_gbps,
+            gpu_channels=system.cfg.gpu.num_channels,
+        )
+        system.network = self._make_network(topo, netcfg)
+        for c in range(system.num_gpus):
+            for lc in range(system.hmcs_per_cluster):
+                self._register_router(
+                    c * system.hmcs_per_cluster + lc, system.hmcs[(c, lc)]
+                )
+        for g in range(system.num_gpus):
+            system.network.set_terminal_handler(f"gpu{g}", self._on_terminal_packet)
+        self._build_direct_links("cpu", system.cpu_cluster)
+        self._build_pcie_switch()
+
+    def gpu_request(
+        self, gpu_id: int, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        terminal = f"gpu{gpu_id}"
+        if access.decoded.cluster == self.system.cpu_cluster:
+            self._pcie_forwarded(terminal, "cpu", access, on_done)
+        else:
+            self._net_request(terminal, access, on_done)
+
+    def _cpu_dispatch(
+        self, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        cluster = access.decoded.cluster
+        if cluster == self.system.cpu_cluster:
+            self._direct("cpu", access, on_done)
+        else:
+            self._pcie_forwarded("cpu", f"gpu{cluster}", access, on_done)

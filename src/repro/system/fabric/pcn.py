@@ -1,0 +1,46 @@
+"""The NVLink-style processor-centric network organization (Fig. 1(b)).
+
+Same request topology as PCIe — remote clusters are reached through the
+owning processor — but over dedicated point-to-point links
+(:class:`repro.pcn.pcn.PCNFabric`) instead of the shared switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...mem import MemoryAccess
+from ...pcn.pcn import PCNFabric as PCNLinks
+from .base import Fabric
+
+
+class PCNFabric(Fabric):
+    def build(self) -> None:
+        system = self.system
+        system.pcn = PCNLinks(
+            system.sim, [f"gpu{g}" for g in range(system.num_gpus)], system.cfg.pcn
+        )
+        for g in range(system.num_gpus):
+            self._build_direct_links(f"gpu{g}", g)
+        self._build_direct_links("cpu", system.cpu_cluster)
+
+    def gpu_request(
+        self, gpu_id: int, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        cluster = access.decoded.cluster
+        terminal = f"gpu{gpu_id}"
+        if cluster == gpu_id:
+            self._direct(terminal, access, on_done)
+        else:
+            cpu_cluster = self.system.cpu_cluster
+            owner = "cpu" if cluster == cpu_cluster else f"gpu{cluster}"
+            self._pcn_forwarded(terminal, owner, access, on_done)
+
+    def _cpu_dispatch(
+        self, access: MemoryAccess, on_done: Callable[[], None]
+    ) -> None:
+        cluster = access.decoded.cluster
+        if cluster == self.system.cpu_cluster:
+            self._direct("cpu", access, on_done)
+        else:
+            self._pcn_forwarded("cpu", f"gpu{cluster}", access, on_done)

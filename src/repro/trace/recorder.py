@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import List, Optional
+from typing import List
 
 from ..mem import AccessType, MemoryAccess
 from ..system.builder import MultiGPUSystem

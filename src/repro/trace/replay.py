@@ -12,11 +12,11 @@ fabrics on identical load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..config import SystemConfig
 from ..errors import SimulationError
-from ..mem import AccessType, MemoryAccess
+from ..mem import MemoryAccess
 from ..system.builder import MultiGPUSystem
 from ..system.configs import ArchSpec
 from .recorder import TraceEvent

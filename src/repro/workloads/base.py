@@ -7,7 +7,7 @@ the memcpy transfer mode must move (Section VI-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Union
 
 from ..core.kernel import Kernel

@@ -15,8 +15,8 @@ CTAs, Section V-A).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.kernel import Kernel, Phase
 from ..cpu.host import HostAccess, HostPhase

@@ -1,6 +1,5 @@
 """Tests for the first-touch placement extension."""
 
-import pytest
 
 from repro.core.address import AddressMapping
 from repro.core.page_table import PagePlacement, PageTable

@@ -1,6 +1,5 @@
 """Tests for DRAM bank timing (Table I parameters)."""
 
-import pytest
 
 from repro.config import DRAMTiming
 from repro.hmc.dram import Bank, RowOutcome

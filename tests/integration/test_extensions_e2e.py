@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.system.configs import TABLE_III, get_spec
-from repro.system.run import run_workload, run_workload_detailed
+from repro.system.run import run_workload
 from repro.workloads import WORKLOAD_NAMES, get_workload
 from tests.conftest import tiny_system_config
 

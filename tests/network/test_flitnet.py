@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import NetworkConfig, SystemConfig
+from repro.config import NetworkConfig
 from repro.network.flitnet import FLIT_BYTES, FlitNetwork
 from repro.network.packet import Packet, PacketKind
 from repro.network.topologies import build_sfbfly, build_smesh

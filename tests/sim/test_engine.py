@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Barrier, Simulator
+from repro.sim.engine import Barrier
 
 
 class TestScheduling:

@@ -1,0 +1,127 @@
+"""Tests for the canonical SystemSpec: deterministic serialization, JSON
+round-trips, and the cache-key identity the exec layer relies on."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.exec.cache import job_fingerprint, job_key
+from repro.exec.jobs import SweepJob
+from repro.system.configs import get_spec
+from repro.system.spec import SPEC_SCHEMA, SystemSpec, WorkloadRef
+
+
+def spec_for(arch="UMN", **run_kwargs) -> SystemSpec:
+    return SystemSpec.make(
+        arch, WorkloadRef("bprop", 0.25), SystemConfig(num_gpus=2), **run_kwargs
+    )
+
+
+class TestMake:
+    def test_resolves_names(self):
+        spec = SystemSpec.make("umn", "bprop")
+        assert spec.arch is get_spec("UMN")
+        assert spec.workload == WorkloadRef("bprop")
+
+    def test_run_kwargs_sorted(self):
+        spec = SystemSpec.make("UMN", "bprop", seed=7, collect_traffic=True)
+        assert spec.run_kwargs == (("collect_traffic", True), ("seed", 7))
+
+    def test_label(self):
+        assert spec_for().label == "bprop@UMN"
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_is_identity(self):
+        spec = spec_for(seed=3)
+        assert SystemSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_roundtrip_is_identity(self):
+        spec = spec_for()
+        assert SystemSpec.from_json(spec.to_json()) == spec
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = spec_for()
+        path = str(tmp_path / "spec.json")
+        spec.save(path)
+        assert SystemSpec.load(path) == spec
+
+    def test_roundtrip_preserves_cache_key(self):
+        spec = spec_for(seed=3)
+        again = SystemSpec.from_json(spec.to_json())
+        assert again.cache_key() == spec.cache_key()
+
+    def test_roundtrip_preserves_job_key(self):
+        job = SweepJob(system=spec_for())
+        again = SweepJob(system=SystemSpec.from_json(job.system.to_json()))
+        assert job_key(again) == job_key(job)
+
+    def test_derived_cfg_fields_recomputed(self):
+        # DRAMTiming's init=False fields are omitted on encode and rebuilt
+        # by __post_init__ on decode.
+        spec = spec_for()
+        assert "tRC_ps" not in json.dumps(spec.to_dict())
+        assert SystemSpec.from_dict(spec.to_dict()).cfg == spec.cfg
+
+
+class TestDeterminism:
+    def test_canonical_json_is_stable(self):
+        assert spec_for(seed=3).canonical_json() == spec_for(seed=3).canonical_json()
+
+    def test_cache_key_sees_every_piece(self):
+        base = spec_for()
+        assert spec_for("GMN").cache_key() != base.cache_key()
+        assert spec_for(seed=9).cache_key() != base.cache_key()
+        other_cfg = SystemSpec.make(
+            "UMN", WorkloadRef("bprop", 0.25), SystemConfig(num_gpus=4)
+        )
+        assert other_cfg.cache_key() != base.cache_key()
+
+    def test_tag_does_not_change_job_identity(self):
+        spec = spec_for()
+        assert job_key(SweepJob(system=spec, tag="a")) == job_key(
+            SweepJob(system=spec, tag="b")
+        )
+
+    def test_fingerprint_carries_canonical_spec(self):
+        job = SweepJob(system=spec_for())
+        fp = job_fingerprint(job)
+        assert fp["system"] == job.system.to_dict()
+        assert set(fp) == {"schema", "code", "system"}
+
+
+class TestErrorPaths:
+    def test_unknown_top_level_key_rejected(self):
+        data = spec_for().to_dict()
+        data["extra"] = 1
+        with pytest.raises(ConfigError, match="unknown SystemSpec field"):
+            SystemSpec.from_dict(data)
+
+    def test_unknown_arch_key_rejected(self):
+        data = spec_for().to_dict()
+        data["arch"]["flux_capacitor"] = True
+        with pytest.raises(ConfigError, match="unknown ArchSpec field"):
+            SystemSpec.from_dict(data)
+
+    def test_schema_mismatch_rejected(self):
+        data = spec_for().to_dict()
+        data["schema"] = SPEC_SCHEMA + 1
+        with pytest.raises(ConfigError, match="unsupported SystemSpec schema"):
+            SystemSpec.from_dict(data)
+
+    def test_missing_arch_rejected(self):
+        data = spec_for().to_dict()
+        del data["arch"]
+        with pytest.raises(ConfigError, match="missing"):
+            SystemSpec.from_dict(data)
+
+    def test_unserializable_run_kwarg_rejected(self):
+        spec = SystemSpec.make("UMN", "bprop", callback=object())
+        with pytest.raises(ConfigError, match="cannot serialize"):
+            spec.to_dict()
+
+    def test_bad_factory_string(self):
+        with pytest.raises(ValueError, match="module:function"):
+            WorkloadRef("x", factory="no_colon_here").build()

@@ -9,15 +9,11 @@ from repro.mem import AccessType
 from repro.workloads import (
     SCALABILITY_WORKLOADS,
     WORKLOAD_NAMES,
-    WORKLOAD_SPECS,
-    HostStep,
-    KernelStep,
     Region,
     Workload,
     all_workloads,
     get_workload,
     make_vectoradd,
-    make_workload,
 )
 
 
