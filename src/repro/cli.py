@@ -24,6 +24,19 @@ Performance flags (``all`` and every experiment subcommand):
 - ``--bench-json DIR`` — write a ``BENCH_<experiment>.json`` wall-clock
   record for the run (see docs/performance.md).
 
+Robustness flags (``run``, ``all``, and every experiment subcommand; see
+docs/robustness.md):
+
+- ``--keep-going`` — finish the whole sweep even if some points fail;
+  healthy rows print (and cache) normally, failed points are reported in
+  a failure table and the exit code is 3. Default is fail-fast: the
+  first failure aborts the sweep (exit 1) after salvaging every already
+  completed result into the cache.
+- ``--max-events N`` — livelock watchdog: abort any single simulation
+  that executes more than N events (default 1e9; 0 disables).
+- ``--wall-limit S`` — abort any single simulation after S wall-clock
+  seconds (off by default; checked between event slices).
+
 Observability flags (``run`` and every experiment subcommand):
 
 - ``--trace OUT.json`` — record a Chrome trace-event timeline (kernels,
@@ -41,11 +54,12 @@ import sys
 import time
 from typing import List, Optional
 
-from .errors import ConfigError
+from .errors import ConfigError, SimulationError, SweepError
 from .exec import ResultCache, jobs_from_env, write_bench
 from .exec import runtime as exec_runtime
 from .experiments import EXPERIMENTS
 from .obs import Observability, default_observability
+from .sim import watchdog
 from .system.configs import available_archs, get_spec
 from .system.report import system_report
 from .system.run import run_workload_detailed
@@ -127,6 +141,31 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="write a BENCH_<experiment>.json wall-clock record into DIR",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="finish the sweep past failed points and report a failure "
+        "table (exit code 3) instead of failing fast on the first error",
+    )
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="livelock watchdog: abort any simulation that executes more "
+        "than N events (default: 1e9; 0 disables)",
+    )
+    parser.add_argument(
+        "--wall-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="livelock watchdog: abort any single simulation running "
+        "longer than S wall-clock seconds (default: off)",
+    )
 
 
 def _install_perf_defaults(args, obs: Optional[Observability] = None) -> None:
@@ -144,9 +183,13 @@ def _install_perf_defaults(args, obs: Optional[Observability] = None) -> None:
         )
         jobs = 1
     exec_runtime.set_default_jobs(jobs)
+    exec_runtime.set_default_keep_going(getattr(args, "keep_going", False))
     cache_arg = getattr(args, "cache", None)
     if cache_arg is not None:
         exec_runtime.set_default_cache(ResultCache(cache_arg or None))
+    watchdog.set_default_limits(
+        getattr(args, "max_events", None), getattr(args, "wall_limit", None)
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -179,7 +222,9 @@ def _run_experiment(
     save: Optional[str] = None,
     obs: Optional[Observability] = None,
     bench_json: Optional[str] = None,
-) -> None:
+) -> int:
+    """Run one experiment; returns the exit code (0 ok, 1 fail-fast
+    sweep abort, 3 completed-with-failures under --keep-going)."""
     runner = EXPERIMENTS[name]
     kwargs = {}
     if scale is not None:
@@ -191,11 +236,17 @@ def _run_experiment(
                 file=sys.stderr,
             )
     start = time.time()
-    if obs is not None:
-        with default_observability(obs):
+    try:
+        if obs is not None:
+            with default_observability(obs):
+                result = runner(**kwargs)
+        else:
             result = runner(**kwargs)
-    else:
-        result = runner(**kwargs)
+    except SweepError as exc:
+        print(f"error: {name} aborted: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(failure.traceback, file=sys.stderr, end="")
+        return 1
     wall = time.time() - start
     print(result.render())
     jobs = exec_runtime.get_default_jobs() or 1
@@ -216,6 +267,14 @@ def _run_experiment(
             rows=len(result.rows),
         )
         print(f"[bench record -> {path}]")
+    if result.failures:
+        print(
+            f"error: {name} completed with {len(result.failures)} failed "
+            "sweep point(s); healthy rows above are cached and reusable",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def _run_one(args) -> int:
@@ -239,13 +298,18 @@ def _run_one(args) -> int:
         print(f"[spec {spec.label} -> {args.dump_spec}]")
         return 0
     obs = _make_obs(args)
-    result, system = run_workload_detailed(
-        spec.arch,
-        spec.workload.build(),
-        cfg=spec.cfg,
-        obs=obs,
-        **dict(spec.run_kwargs),
-    )
+    watchdog.set_default_limits(args.max_events, args.wall_limit)
+    try:
+        result, system = run_workload_detailed(
+            spec.arch,
+            spec.workload.build(),
+            cfg=spec.cfg,
+            obs=obs,
+            **dict(spec.run_kwargs),
+        )
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     for key, value in result.as_row().items():
         print(f"{key:20s} {value}")
     if args.report:
@@ -275,11 +339,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--save", default=None, help="export the rows (.csv or .json)"
         )
         _add_perf_flags(p)
+        _add_robustness_flags(p)
         _add_obs_flags(p)
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--scale", type=float, default=None)
     _add_perf_flags(p_all)
+    _add_robustness_flags(p_all)
     _add_obs_flags(p_all)
 
     p_run = sub.add_parser("run", help="run one workload on one architecture")
@@ -307,6 +373,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the full system_report() (includes timeseries when "
         "--timeseries is on)",
     )
+    _add_robustness_flags(p_run)
     _add_obs_flags(p_run)
 
     args = parser.parse_args(argv)
@@ -319,22 +386,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all":
         obs = _make_obs(args)
         _install_perf_defaults(args, obs)
+        rc = 0
         for name in EXPERIMENTS:
             if name == "fig17":
                 continue  # shares the fig16 sweep
-            _run_experiment(name, args.scale, obs=obs, bench_json=args.bench_json)
+            rc = max(
+                rc,
+                _run_experiment(name, args.scale, obs=obs, bench_json=args.bench_json),
+            )
             print()
         _finish_obs(obs, args)
-        return 0
+        return rc
     if args.command == "run":
         return _run_one(args)
     obs = _make_obs(args)
     _install_perf_defaults(args, obs)
-    _run_experiment(
+    rc = _run_experiment(
         args.command, args.scale, args.save, obs=obs, bench_json=args.bench_json
     )
     _finish_obs(obs, args)
-    return 0
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

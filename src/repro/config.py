@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 from .units import GB, KB, MB
@@ -244,6 +245,20 @@ class SystemConfig:
     network_model: str = "packet"
     #: Seed for page placement and any stochastic tie-breaking.
     seed: int = 1
+    #: Livelock watchdog event budget per run: ``None`` uses the package
+    #: default (:data:`repro.sim.watchdog.DEFAULT_MAX_EVENTS`, far above
+    #: any real run), ``0`` disables the budget.  Operational knob only —
+    #: excluded from the canonical spec / cache identity because it never
+    #: affects a run's results, only whether a livelocked run is killed.
+    watchdog_max_events: Optional[int] = field(
+        default=None, metadata={"identity": False}
+    )
+    #: Optional wall-clock budget in seconds (same precedence and identity
+    #: exclusion); chiefly for sweep workers, where one stuck point must
+    #: not hold the whole pool hostage.
+    watchdog_wall_s: Optional[float] = field(
+        default=None, metadata={"identity": False}
+    )
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:

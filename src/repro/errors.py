@@ -25,6 +25,17 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state (e.g. lost request)."""
 
 
+class SweepError(ReproError):
+    """A sweep could not complete: a point failed under fail-fast, the
+    worker pool died beyond its retry budget, or the executor lost track
+    of a job.  ``failures`` carries any structured
+    :class:`~repro.exec.jobs.JobFailure` records behind the error."""
+
+    def __init__(self, message: str, failures=()) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+
+
 class AddressError(ReproError):
     """An address could not be translated or decoded."""
 

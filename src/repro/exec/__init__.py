@@ -13,6 +13,14 @@ Three cooperating pieces make the experiment suite scale:
 
 Correctness bar: serial, parallel, and cached executions of the same
 sweep produce identical rows (every run is a pure function of its job).
+
+Failure is a first-class outcome: workers return
+:class:`~repro.exec.jobs.JobOutcome` (result or picklable
+:class:`~repro.exec.jobs.JobFailure`), successes are cached as they land,
+dead pools are respawned with only the lost jobs resubmitted, and
+fail-fast vs keep-going decides whether the first failure raises
+:class:`~repro.errors.SweepError` or the sweep finishes with a failure
+report (see docs/robustness.md).
 """
 
 from .bench import (
@@ -25,14 +33,16 @@ from .bench import (
 )
 from .cache import CacheStats, ResultCache, code_version, job_fingerprint, job_key
 from .executor import JOBS_ENV, SweepExecutor, jobs_from_env
-from .jobs import SweepJob, SystemSpec, WorkloadRef, execute_job
+from .jobs import JobFailure, JobOutcome, SweepJob, SystemSpec, WorkloadRef, execute_job
 from .runtime import (
     CACHE_DIR_ENV,
     default_executor,
     get_default_cache,
     get_default_jobs,
+    get_default_keep_going,
     set_default_cache,
     set_default_jobs,
+    set_default_keep_going,
     sweep_defaults,
 )
 
@@ -40,6 +50,8 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CacheStats",
     "JOBS_ENV",
+    "JobFailure",
+    "JobOutcome",
     "ResultCache",
     "SweepExecutor",
     "SweepJob",
@@ -55,11 +67,13 @@ __all__ = [
     "execute_job",
     "get_default_cache",
     "get_default_jobs",
+    "get_default_keep_going",
     "job_fingerprint",
     "job_key",
     "jobs_from_env",
     "set_default_cache",
     "set_default_jobs",
+    "set_default_keep_going",
     "sweep_defaults",
     "write_bench",
 ]

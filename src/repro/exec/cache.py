@@ -79,9 +79,16 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries that existed but could not be unpickled (truncated write,
+    #: disk corruption, stale class layout); each was deleted and
+    #: recomputed as a miss.
+    corrupt: int = 0
 
     def as_note(self) -> str:
-        return f"cache: {self.hits} hits, {self.misses} misses"
+        note = f"cache: {self.hits} hits, {self.misses} misses"
+        if self.corrupt:
+            note += f", {self.corrupt} corrupt entries dropped"
+        return note
 
 
 class ResultCache:
@@ -103,14 +110,29 @@ class ResultCache:
         payload = self._mem.get(key)
         if payload is None and self.path is not None:
             file = self.path / f"{key}.pkl"
-            if file.exists():
+            try:
                 payload = file.read_bytes()
+            except OSError:
+                payload = None  # vanished or unreadable: a plain miss
+        if payload is not None:
+            try:
+                result = pickle.loads(payload)
+            except Exception:
+                # An unreadable/corrupt/truncated entry is a miss, not a
+                # crash: drop it everywhere and let the sweep recompute.
+                self.stats.corrupt += 1
+                self._mem.pop(key, None)
+                if self.path is not None:
+                    try:
+                        (self.path / f"{key}.pkl").unlink()
+                    except OSError:
+                        pass
+            else:
                 self._mem[key] = payload
-        if payload is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return pickle.loads(payload)
+                self.stats.hits += 1
+                return result
+        self.stats.misses += 1
+        return None
 
     def put(self, job: SweepJob, result: RunResult) -> None:
         key = job_key(job)

@@ -17,32 +17,65 @@ Degrees of freedom, in precedence order:
 
 An attached :class:`~repro.exec.cache.ResultCache` short-circuits any job
 whose result is already known; only misses are submitted to the pool.
+
+Failure semantics (docs/robustness.md):
+
+- Workers return structured :class:`~repro.exec.jobs.JobOutcome`\\ s, so a
+  crashing point never aborts the merge loop.  Outcomes are consumed with
+  ``as_completed`` and every **success is cached the moment it lands** —
+  a later failure can no longer throw finished work away (salvage).
+- **Fail-fast** (default): the first failed point raises
+  :class:`~repro.errors.SweepError` naming the point's label; unstarted
+  points are cancelled, running ones are drained into the cache first.
+- **Keep-going** (``keep_going=True`` / the CLI's ``--keep-going``): the
+  sweep finishes, failed points come back as failures in the outcome
+  list, and the caller reports them (nonzero exit at the CLI).
+- A ``BrokenProcessPool`` (a worker died: OOM-kill, segfault, ``os._exit``)
+  is treated as transient: the pool is respawned with bounded backoff and
+  **only the lost jobs** are resubmitted, up to ``pool_retries`` times.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor, as_completed
 from typing import List, Optional, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SweepError
+from ..sim import watchdog
 from ..system.metrics import RunResult
 from .cache import ResultCache
-from .jobs import SweepJob, _worker_initializer, execute_job
+from .jobs import JobOutcome, SweepJob, _worker_initializer, execute_job
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV = "REPRO_JOBS"
 
 
 def jobs_from_env(default: int = 1) -> int:
-    """Parse ``REPRO_JOBS``; invalid or missing values fall back to serial."""
+    """Parse ``REPRO_JOBS``; invalid or non-positive values fall back
+    (with a warning naming the value and the fallback, so a typo like
+    ``REPRO_JOBS=four`` no longer silently serializes the sweep)."""
     raw = os.environ.get(JOBS_ENV, "").strip()
     if not raw:
         return default
     try:
-        return max(1, int(raw))
+        value = int(raw)
     except ValueError:
+        print(
+            f"warning: ignoring invalid {JOBS_ENV}={raw!r}; "
+            f"falling back to {default} worker(s)",
+            file=sys.stderr,
+        )
         return default
+    if value < 1:
+        print(
+            f"warning: {JOBS_ENV}={raw!r} clamped to 1 worker (serial)",
+            file=sys.stderr,
+        )
+        return 1
+    return value
 
 
 class SweepExecutor:
@@ -52,51 +85,168 @@ class SweepExecutor:
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        keep_going: bool = False,
+        pool_retries: int = 2,
+        pool_backoff_s: float = 0.25,
     ) -> None:
         if jobs is None:
             jobs = jobs_from_env()
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if pool_retries < 0:
+            raise ConfigError(f"pool_retries must be >= 0, got {pool_retries}")
         self.jobs = jobs
         self.cache = cache
+        self.keep_going = keep_going
+        self.pool_retries = pool_retries
+        self.pool_backoff_s = pool_backoff_s
 
     # ------------------------------------------------------------------
-    def map(self, jobs: Sequence[SweepJob]) -> List[RunResult]:
+    def map(self, jobs: Sequence[SweepJob]) -> List[Optional[RunResult]]:
         """Execute ``jobs``; results come back in submission order.
 
         Cached, parallel, and serial execution all yield identical lists:
         each simulation is a pure function of its job (see
         ``reset_packet_ids``), results are merged by index, and the cache
         returns a fresh unpickled copy per hit.
+
+        Under fail-fast (the default) every entry is a
+        :class:`RunResult` — a failed point raises
+        :class:`~repro.errors.SweepError` instead.  Under ``keep_going``
+        failed points come back as ``None`` (use :meth:`map_outcomes` for
+        the structured failures).
         """
+        return [o.result for o in self.map_outcomes(jobs)]
+
+    def map_outcomes(self, jobs: Sequence[SweepJob]) -> List[JobOutcome]:
+        """Like :meth:`map`, but returns the full per-job outcomes."""
         jobs = list(jobs)
-        results: List[Optional[RunResult]] = [None] * len(jobs)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         pending: List[int] = []
         for i, job in enumerate(jobs):
             hit = self.cache.get(job) if self.cache is not None else None
             if hit is not None:
-                results[i] = hit
+                outcomes[i] = JobOutcome(result=hit)
             else:
                 pending.append(i)
 
         if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=workers, initializer=_worker_initializer
-            ) as pool:
-                futures = [(i, pool.submit(execute_job, jobs[i])) for i in pending]
-                for i, future in futures:
-                    results[i] = future.result()
+            self._map_pool(jobs, pending, outcomes)
         else:
-            for i in pending:
-                results[i] = execute_job(jobs[i])
+            self._map_serial(jobs, pending, outcomes)
 
-        if self.cache is not None:
-            for i in pending:
-                self.cache.put(jobs[i], results[i])
-        return results  # type: ignore[return-value]
+        # Completeness assertion: a dropped future must never leak a None
+        # past the return type (it used to hide behind a `type: ignore`).
+        lost = [jobs[i].label for i, o in enumerate(outcomes) if o is None]
+        if lost:
+            raise SweepError(
+                f"sweep executor lost {len(lost)} job(s) without an outcome: "
+                f"{', '.join(lost[:5])}"
+                + (" ..." if len(lost) > 5 else "")
+            )
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _store(self, job: SweepJob, outcome: JobOutcome) -> None:
+        """Cache a success immediately — salvage against later failures."""
+        if self.cache is not None and outcome.ok:
+            self.cache.put(job, outcome.result)
+
+    def _fail_fast(self, failure) -> None:
+        raise SweepError(
+            f"sweep point {failure.label!r} failed: "
+            f"{failure.exc_type}: {failure.message} "
+            "(completed results were salvaged into the cache; "
+            "use --keep-going to finish the remaining points)",
+            failures=[failure],
+        )
+
+    def _map_serial(
+        self,
+        jobs: List[SweepJob],
+        pending: List[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
+        for i in pending:
+            outcome = execute_job(jobs[i])
+            outcomes[i] = outcome
+            self._store(jobs[i], outcome)
+            if not outcome.ok and not self.keep_going:
+                self._fail_fast(outcome.failure)
+
+    def _map_pool(
+        self,
+        jobs: List[SweepJob],
+        pending: List[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
+        remaining = list(pending)
+        attempts = 0
+        while remaining:
+            lost = self._pool_round(jobs, remaining, outcomes)
+            if not lost:
+                return
+            attempts += 1
+            if attempts > self.pool_retries:
+                raise SweepError(
+                    f"worker pool died {attempts} time(s); giving up on "
+                    f"{len(lost)} unfinished job(s): "
+                    + ", ".join(jobs[i].label for i in lost[:5])
+                    + (" ..." if len(lost) > 5 else "")
+                )
+            print(
+                f"warning: worker pool died; respawning to retry "
+                f"{len(lost)} lost job(s) "
+                f"(attempt {attempts}/{self.pool_retries})",
+                file=sys.stderr,
+            )
+            time.sleep(self.pool_backoff_s * attempts)
+            remaining = lost
+
+    def _pool_round(
+        self,
+        jobs: List[SweepJob],
+        indices: List[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> List[int]:
+        """One pool lifetime: submit ``indices``, drain with
+        ``as_completed`` (caching each success as it lands), and return
+        the indices lost to pool breakage, in submission order."""
+        workers = min(self.jobs, len(indices))
+        lost: List[int] = []
+        first_failure = None
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_initializer,
+            initargs=(watchdog.get_default_limits(),),
+        ) as pool:
+            future_to_index = {
+                pool.submit(execute_job, jobs[i]): i for i in indices
+            }
+            for future in as_completed(future_to_index):
+                i = future_to_index[future]
+                try:
+                    outcome = future.result()
+                except CancelledError:
+                    continue  # fail-fast already cancelled this point
+                except BrokenExecutor:
+                    lost.append(i)
+                    continue
+                outcomes[i] = outcome
+                self._store(jobs[i], outcome)
+                if not outcome.ok and first_failure is None and not self.keep_going:
+                    # Fail fast, but salvage first: cancel what hasn't
+                    # started and keep draining what has, so every finished
+                    # simulation reaches the cache before the raise.
+                    first_failure = outcome.failure
+                    for other in future_to_index:
+                        other.cancel()
+        if first_failure is not None:
+            self._fail_fast(first_failure)
+        return sorted(lost)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cache = "on" if self.cache is not None else "off"
-        return f"SweepExecutor(jobs={self.jobs}, cache={cache})"
+        mode = "keep-going" if self.keep_going else "fail-fast"
+        return f"SweepExecutor(jobs={self.jobs}, cache={cache}, {mode})"

@@ -9,10 +9,19 @@ themselves are not picklable — their CTA programs are closures — so the
 spec carries a :class:`~repro.system.spec.WorkloadRef` that rebuilds the
 workload inside the worker, either from the Table II registry
 (name + scale) or from an explicit ``module:function`` factory.
+
+Failure is a first-class outcome: :func:`execute_job` never lets a job's
+exception escape the worker.  It returns a :class:`JobOutcome` carrying
+either the :class:`~repro.system.metrics.RunResult` or a picklable
+:class:`JobFailure` (label, exception type/message, traceback text), so
+one bad point crossing the process boundary can neither poison the pool
+protocol with an unpicklable exception nor abort the merge loop before
+its siblings' results are salvaged.
 """
 
 from __future__ import annotations
 
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
@@ -21,7 +30,14 @@ from ..system.configs import ArchSpec
 from ..system.metrics import RunResult
 from ..system.spec import SystemSpec, WorkloadRef
 
-__all__ = ["SweepJob", "WorkloadRef", "SystemSpec", "execute_job"]
+__all__ = [
+    "JobFailure",
+    "JobOutcome",
+    "SweepJob",
+    "WorkloadRef",
+    "SystemSpec",
+    "execute_job",
+]
 
 
 @dataclass(frozen=True)
@@ -71,18 +87,70 @@ class SweepJob:
         return self.tag or self.system.label
 
 
-def execute_job(job: SweepJob) -> RunResult:
-    """Run one sweep job to completion (in this process)."""
-    return job.system.run()
+@dataclass(frozen=True)
+class JobFailure:
+    """A sweep point's failure, reduced to plain (picklable) strings."""
+
+    label: str
+    exc_type: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def from_exception(cls, job: SweepJob, exc: BaseException) -> "JobFailure":
+        return cls(
+            label=job.label,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def summary(self) -> str:
+        return f"{self.label}: {self.exc_type}: {self.message}"
 
 
-def _worker_initializer() -> None:
+@dataclass(frozen=True)
+class JobOutcome:
+    """What one :func:`execute_job` call produced: a result *or* a failure."""
+
+    result: Optional[RunResult] = None
+    failure: Optional[JobFailure] = None
+
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.failure is None):
+            raise ValueError("a JobOutcome carries exactly one of result/failure")
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def execute_job(job: SweepJob) -> JobOutcome:
+    """Run one sweep job to completion (in this process).
+
+    Any exception — a bad workload reference, a config error, a watchdog
+    trip — is captured as a :class:`JobFailure` rather than raised, so a
+    pool worker always hands back a picklable, attributable outcome.
+    """
+    try:
+        return JobOutcome(result=job.system.run())
+    except Exception as exc:
+        return JobOutcome(failure=JobFailure.from_exception(job, exc))
+
+
+def _worker_initializer(watchdog_limits: Tuple[Optional[int], Optional[float]] = (None, None)) -> None:
     """Executed once in every pool worker.
 
     Workers inherit the parent's process state on fork; any ambient
     observability default would silently accumulate trace events that never
-    flow back, so drop it.
+    flow back, so drop it.  The parent's watchdog limits (``--max-events``
+    / ``--wall-limit``) are installed explicitly so they also hold under
+    spawn-based start methods.
     """
     from ..obs import runtime as obs_runtime
+    from ..sim import watchdog
 
     obs_runtime.set_default(None)
+    watchdog.set_default_limits(*watchdog_limits)

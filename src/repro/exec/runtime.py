@@ -27,6 +27,7 @@ _UNSET = object()
 
 _default_jobs: Optional[int] = None
 _default_cache: object = _UNSET
+_default_keep_going: bool = False
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -55,21 +56,39 @@ def get_default_cache() -> Optional[ResultCache]:
     return _default_cache  # type: ignore[return-value]
 
 
+def set_default_keep_going(keep_going: bool) -> None:
+    """Install the default failure mode (the CLI's ``--keep-going``)."""
+    global _default_keep_going
+    _default_keep_going = bool(keep_going)
+
+
+def get_default_keep_going() -> bool:
+    """Whether sweeps finish past failed points by default."""
+    return _default_keep_going
+
+
 def default_executor() -> SweepExecutor:
     """The executor an experiment uses when not handed one explicitly."""
-    return SweepExecutor(jobs=get_default_jobs(), cache=get_default_cache())
+    return SweepExecutor(
+        jobs=get_default_jobs(),
+        cache=get_default_cache(),
+        keep_going=get_default_keep_going(),
+    )
 
 
 @contextmanager
 def sweep_defaults(
-    jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    keep_going: bool = False,
 ):
     """Scope executor defaults to a ``with`` block (tests, notebooks)."""
-    global _default_jobs, _default_cache
-    prev_jobs, prev_cache = _default_jobs, _default_cache
+    global _default_jobs, _default_cache, _default_keep_going
+    prev = (_default_jobs, _default_cache, _default_keep_going)
     _default_jobs = jobs
     _default_cache = cache
+    _default_keep_going = keep_going
     try:
         yield
     finally:
-        _default_jobs, _default_cache = prev_jobs, prev_cache
+        _default_jobs, _default_cache, _default_keep_going = prev

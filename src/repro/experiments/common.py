@@ -10,8 +10,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..config import SystemConfig
-from ..exec.jobs import SweepJob
+from ..exec.executor import SweepExecutor
+from ..exec.jobs import JobFailure, SweepJob
 from ..system.configs import ArchSpec, get_spec
+from ..system.metrics import RunResult
 from ..system.spec import SystemSpec, WorkloadRef
 
 
@@ -29,12 +31,19 @@ class ExperimentResult:
     rows: List[Dict[str, object]] = field(default_factory=list)
     paper_note: str = ""
     notes: List[str] = field(default_factory=list)
+    #: Failed sweep points (keep-going mode); empty on a clean run.
+    failures: List[JobFailure] = field(default_factory=list)
 
     def add(self, **fields: object) -> None:
         self.rows.append(fields)
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    @property
+    def complete(self) -> bool:
+        """True when every sweep point produced a row (no failures)."""
+        return not self.failures
 
     # ------------------------------------------------------------------
     def columns(self) -> List[str]:
@@ -65,6 +74,10 @@ class ExperimentResult:
                 )
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.failures:
+            lines.append(f"FAILED sweep points ({len(self.failures)}):")
+            for failure in self.failures:
+                lines.append(f"  {failure.summary()}")
         return "\n".join(lines)
 
     def print(self) -> None:  # pragma: no cover - console convenience
@@ -91,6 +104,14 @@ class ExperimentResult:
                 "paper_note": self.paper_note,
                 "rows": self.rows,
                 "notes": self.notes,
+                "failures": [
+                    {
+                        "label": f.label,
+                        "exc_type": f.exc_type,
+                        "message": f.message,
+                    }
+                    for f in self.failures
+                ],
             },
             indent=2,
         )
@@ -136,6 +157,32 @@ def job_for(
     return SweepJob(
         system=SystemSpec.make(arch, workload, cfg, **run_kwargs), tag=tag
     )
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob],
+    executor: SweepExecutor,
+    result: ExperimentResult,
+) -> List[Optional[RunResult]]:
+    """Execute a sweep and merge failures into ``result``.
+
+    Returns one entry per job, in submission order: the
+    :class:`RunResult` for points that ran (or hit the cache), ``None``
+    for points that failed under keep-going — their structured
+    :class:`~repro.exec.jobs.JobFailure` records land on
+    ``result.failures``, and the merge loops skip the holes.  Under
+    fail-fast (the executor default) a failure raises
+    :class:`~repro.errors.SweepError` instead, after completed results
+    were salvaged into the cache.
+    """
+    results: List[Optional[RunResult]] = []
+    for job, outcome in zip(jobs, executor.map_outcomes(jobs)):
+        if outcome.ok:
+            results.append(outcome.result)
+        else:
+            result.failures.append(outcome.failure)
+            results.append(None)
+    return results
 
 
 def normalize(values: Sequence[float], to: Optional[float] = None) -> List[float]:

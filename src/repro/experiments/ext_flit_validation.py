@@ -24,7 +24,7 @@ from ..network.network import MemoryNetwork
 from ..network.packet import Packet, PacketKind, reset_packet_ids
 from ..network.topologies import build_topology
 from ..sim.engine import Simulator
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 LOADS = (0.1, 0.4, 0.8)
 
@@ -91,9 +91,12 @@ def run(
         for name in workloads
         for model in ("packet", "flit")
     ]
-    results = iter(executor.map(jobs))
+    results = iter(run_jobs(jobs, executor, result))
     for name in workloads:
-        runtimes = {model: next(results).kernel_ps for model in ("packet", "flit")}
+        pair = {model: next(results) for model in ("packet", "flit")}
+        if any(r is None for r in pair.values()):
+            continue  # failed point (keep-going); reported on result
+        runtimes = {model: r.kernel_ps for model, r in pair.items()}
         result.add(
             study="full-system",
             point=name,

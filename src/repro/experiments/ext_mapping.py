@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 DEFAULT_WORKLOADS = ("BP", "SCAN", "3DFD", "SRAD", "KMN", "CG.S")
 
@@ -45,10 +45,12 @@ def run(
         for name in workloads
         for policy in ("random", "first_touch")
     ]
-    results = iter(executor.map(jobs))
+    results = iter(run_jobs(jobs, executor, result))
     for name in workloads:
         for policy in ("random", "first_touch"):
             r = next(results)
+            if r is None:
+                continue  # failed point (keep-going); reported on result
             result.add(
                 workload=name,
                 placement=policy,
@@ -57,6 +59,8 @@ def run(
                 avg_net_latency_ns=round(r.avg_net_latency_ps / 1e3, 1),
                 energy_uj=r.energy.total_uj if r.energy else 0.0,
             )
+    if not result.complete:
+        return result  # summary notes need both placements per workload
     speedups = []
     for name in workloads:
         rnd = [x for x in result.rows if x["workload"] == name and x["placement"] == "random"][0]

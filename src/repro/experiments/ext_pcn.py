@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
 from ..system.metrics import geometric_mean
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 ARCHS = ("PCIe", "NVLink", "GMN", "UMN")
 DEFAULT_WORKLOADS = ("BP", "BFS", "KMN", "SCAN", "CP")
@@ -45,7 +45,9 @@ def run(
         for arch in ARCHS
     ]
     totals = {a: {} for a in ARCHS}
-    for job, r in zip(jobs, executor.map(jobs)):
+    for job, r in zip(jobs, run_jobs(jobs, executor, result)):
+        if r is None:
+            continue  # failed point (keep-going); reported on result
         name, arch = job.workload.name, job.spec.name
         totals[arch][name] = r.kernel_ps + r.memcpy_ps
         result.add(
@@ -55,6 +57,9 @@ def run(
                 memcpy_us=r.memcpy_ps / 1e6,
                 total_us=(r.kernel_ps + r.memcpy_ps) / 1e6,
             )
+
+    if not result.complete:
+        return result  # summary notes need every (workload, arch) point
 
     def geo(arch: str) -> float:
         return geometric_mean(

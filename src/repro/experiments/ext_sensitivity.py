@@ -21,7 +21,7 @@ from typing import Optional
 from ..config import SystemConfig
 from ..exec import SweepExecutor, WorkloadRef, default_executor
 from ..system.configs import get_spec
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 
 def _specs():
@@ -80,15 +80,19 @@ def run(
         for _label, variant in variants
         for spec in _specs()
     ]
-    results = iter(executor.map(jobs))
+    results = iter(run_jobs(jobs, executor, result))
     for label, _variant in variants:
         pcie, umn, mesh, sfb = (next(results) for _ in range(4))
+        if any(r is None for r in (pcie, umn, mesh, sfb)):
+            continue  # failed point (keep-going); reported on result
         umn_speedup = (pcie.kernel_ps + pcie.memcpy_ps) / (umn.kernel_ps + umn.memcpy_ps)
         result.add(
             parameter=label,
             umn_speedup_vs_pcie=round(umn_speedup, 2),
             sfbfly_speedup_vs_smesh=round(mesh.kernel_ps / sfb.kernel_ps, 2),
         )
+    if not result.complete or not result.rows:
+        return result  # the flip check needs every perturbation's row
     baseline = result.rows[0]
     result.note(
         f"baseline: UMN {baseline['umn_speedup_vs_pcie']}x, "

@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..config import SystemConfig
 from ..exec import SweepExecutor, WorkloadRef, default_executor
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 #: (label, per-cluster page weights) for the distribution sweep.
 DISTRIBUTIONS = [
@@ -69,11 +69,13 @@ def run(
         for arch, run_cfg in systems
         for _label, weights in DISTRIBUTIONS
     ]
-    results = iter(executor.map(jobs))
+    results = iter(run_jobs(jobs, executor, result))
     for arch, _run_cfg in systems:
         baseline = None
         for label, _weights in DISTRIBUTIONS:
             r = next(results)
+            if r is None:
+                continue  # failed point (keep-going); reported on result
             if baseline is None:
                 baseline = r.kernel_ps
             result.add(
@@ -84,14 +86,15 @@ def run(
                 avg_net_latency_ns=r.avg_net_latency_ps / 1e3,
                 avg_hops=round(r.avg_hops, 2),
             )
-    pcie_rows = [r for r in result.rows if r["system"] == "PCIe"]
-    result.note(
-        "PCIe degradation at 4-way distribution: "
-        f"{pcie_rows[-1]['normalized_runtime']:.1f}x (paper: 11.7x)"
-    )
-    gmn_rows = [r for r in result.rows if r["system"] == "GMN"]
-    result.note(
-        f"GMN at 50% remote runs at {gmn_rows[1]['normalized_runtime']:.2f}x "
-        "of all-local (paper: < 1.0, i.e. faster)"
-    )
+    if result.complete:
+        pcie_rows = [r for r in result.rows if r["system"] == "PCIe"]
+        result.note(
+            "PCIe degradation at 4-way distribution: "
+            f"{pcie_rows[-1]['normalized_runtime']:.1f}x (paper: 11.7x)"
+        )
+        gmn_rows = [r for r in result.rows if r["system"] == "GMN"]
+        result.note(
+            f"GMN at 50% remote runs at {gmn_rows[1]['normalized_runtime']:.2f}x "
+            "of all-local (paper: < 1.0, i.e. faster)"
+        )
     return result

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 
 def _variance_stats(matrix: List[List[int]], hmcs_per_cluster: int = 4):
@@ -60,10 +60,12 @@ def run(
         for name in ("KMN", "CG.S")
         for interleave in interleaves
     ]
-    results = iter(executor.map(jobs))
+    results = iter(run_jobs(jobs, executor, result))
     for name in ("KMN", "CG.S"):
         for interleave in interleaves:
             r = next(results)
+            if r is None:
+                continue  # failed point (keep-going); reported on result
             overall, intra = _variance_stats(r.traffic_matrix, cfg.gpu.hmcs_per_gpu)
             result.add(
                 workload=name,

@@ -19,7 +19,7 @@ from ..exec import SweepExecutor, default_executor
 from ..system.configs import TABLE_III
 from ..system.metrics import RunResult, geometric_mean
 from ..workloads.suite import WORKLOAD_NAMES
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 ARCHS = list(TABLE_III)
 
@@ -47,7 +47,9 @@ def run(
         for arch in ARCHS
     ]
     by_arch: Dict[str, Dict[str, RunResult]] = {a: {} for a in ARCHS}
-    for job, r in zip(jobs, executor.map(jobs)):
+    for job, r in zip(jobs, run_jobs(jobs, executor, result)):
+        if r is None:
+            continue  # failed point (keep-going); reported on result
         name, arch = job.workload.name, job.spec.name
         by_arch[arch][name] = r
         result.add(
@@ -60,6 +62,11 @@ def run(
             total_us=(r.kernel_ps + r.memcpy_ps) / 1e6,
             host_us=r.host_ps / 1e6,
         )
+
+    if not result.complete:
+        # Summary speedups need every (workload, arch) point; with holes
+        # the per-point rows above are all that can be reported honestly.
+        return result
 
     def _total(arch: str, w: str) -> int:
         r = by_arch[arch][w]

@@ -13,7 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 #: (workload, scale): CG.S needs its full (imbalanced) footprint.
 DEFAULT_POINTS: Sequence[Tuple[str, float]] = (
@@ -48,11 +48,14 @@ def run(
         for name, scale in points
         for routing in ("min", "ugal")
     ]
-    results = iter(executor.map(jobs))
+    results = iter(run_jobs(jobs, executor, result))
     for topology in ("ddfly", "dfbfly"):
         for name, _scale in points:
+            pair = {routing: next(results) for routing in ("min", "ugal")}
+            if any(r is None for r in pair.values()):
+                continue  # failed point (keep-going); reported on result
             runtimes: Dict[str, int] = {
-                routing: next(results).kernel_ps for routing in ("min", "ugal")
+                routing: r.kernel_ps for routing, r in pair.items()
             }
             gain = 100 * (runtimes["min"] - runtimes["ugal"]) / runtimes["min"]
             result.add(

@@ -15,7 +15,7 @@ from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import geometric_mean
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 TOPOLOGIES = ("smesh", "storus", "smesh-2x", "storus-2x", "sfbfly")
 DEFAULT_WORKLOADS = ("BP", "BFS", "KMN", "SCAN", "SRAD", "STO")
@@ -44,7 +44,9 @@ def run(
     ]
     energies: Dict[str, Dict[str, float]] = {t: {} for t in TOPOLOGIES}
     runtimes: Dict[str, Dict[str, int]] = {t: {} for t in TOPOLOGIES}
-    for job, r in zip(jobs, executor.map(jobs)):
+    for job, r in zip(jobs, run_jobs(jobs, executor, result)):
+        if r is None:
+            continue  # failed point (keep-going); reported on result
         name, topology = job.workload.name, job.spec.topology
         energies[topology][name] = r.energy.total_uj
         runtimes[topology][name] = r.kernel_ps
@@ -56,6 +58,9 @@ def run(
             energy_uj=r.energy.total_uj,
             active_uj=r.energy.active_pj / 1e6,
         )
+
+    if not result.complete:
+        return result  # summary notes need every (workload, topology) point
 
     perf_vs_mesh = geometric_mean(
         [runtimes["smesh"][w] / runtimes["sfbfly"][w] for w in workloads]

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 DESIGNS = ("smesh", "sfbfly", "overlay")
 
@@ -39,11 +39,13 @@ def run(
         for name in workloads
         for topology in DESIGNS
     ]
-    results = executor.map(jobs)
+    results = run_jobs(jobs, executor, result)
     for i, name in enumerate(workloads):
         baseline = None
         for j, topology in enumerate(DESIGNS):
             r = results[i * len(DESIGNS) + j]
+            if r is None:
+                continue  # failed point (keep-going); reported on result
             if baseline is None:
                 baseline = r.host_ps
             result.add(

@@ -18,7 +18,7 @@ from typing import Dict, Optional, Sequence
 from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
 from ..system.metrics import geometric_mean
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 #: Input scale per workload (FWT deliberately small, per the paper).
 DEFAULT_SCALES: Dict[str, float] = {
@@ -56,23 +56,27 @@ def run(
         for name, scale in scales.items()
         for n in gpu_counts
     ]
-    results = executor.map(jobs)
+    results = run_jobs(jobs, executor, result)
     final: Dict[str, float] = {}
     for i, name in enumerate(scales):
         workload_base = None
         row = {"workload": name}
         for j, n in enumerate(gpu_counts):
             r = results[i * len(gpu_counts) + j]
+            if r is None:
+                continue  # failed point (keep-going); reported on result
             if workload_base is None:
                 workload_base = r.kernel_ps
             row[f"x{n}"] = round(workload_base / r.kernel_ps, 2)
-        final[name] = row[f"x{gpu_counts[-1]}"]
+        if f"x{gpu_counts[-1]}" in row:
+            final[name] = row[f"x{gpu_counts[-1]}"]
         result.add(**row)
-    result.note(
-        f"geomean speedup at {gpu_counts[-1]} GPUs: "
-        f"{geometric_mean(list(final.values())):.1f}x (paper: 13.5x)"
-    )
-    best = max(final, key=final.get)
-    worst = min(final, key=final.get)
-    result.note(f"best scaling: {best} ({final[best]}x); worst: {worst} ({final[worst]}x)")
+    if result.complete and final:
+        result.note(
+            f"geomean speedup at {gpu_counts[-1]} GPUs: "
+            f"{geometric_mean(list(final.values())):.1f}x (paper: 13.5x)"
+        )
+        best = max(final, key=final.get)
+        worst = min(final, key=final.get)
+        result.note(f"best scaling: {best} ({final[best]}x); worst: {worst} ({final[worst]}x)")
     return result

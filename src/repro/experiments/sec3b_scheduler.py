@@ -14,7 +14,7 @@ from ..config import SystemConfig
 from ..exec import SweepExecutor, default_executor
 from ..system.configs import get_spec
 from ..system.metrics import RunResult, geometric_mean
-from .common import ExperimentResult, job_for
+from .common import ExperimentResult, job_for, run_jobs
 
 POLICIES = ("static", "round_robin", "stealing")
 DEFAULT_WORKLOADS = ("BP", "SRAD", "KMN", "SCAN", "3DFD", "FWT", "STO", "CP")
@@ -42,9 +42,13 @@ def run(
         for policy in POLICIES
     ]
     runs: Dict[str, Dict[str, RunResult]] = {p: {} for p in POLICIES}
-    for job, r in zip(jobs, executor.map(jobs)):
+    for job, r in zip(jobs, run_jobs(jobs, executor, result)):
+        if r is None:
+            continue  # failed point (keep-going); reported on result
         runs[job.spec.cta_policy][job.workload.name] = r
     for name in workloads:
+        if any(name not in runs[p] for p in POLICIES):
+            continue  # a policy's point failed; the row needs all three
         s, rr = runs["static"][name], runs["round_robin"][name]
         result.add(
             workload=name,
@@ -56,6 +60,8 @@ def run(
             l1_hit_static=round(s.l1_hit_rate, 3),
             l1_hit_rr=round(rr.l1_hit_rate, 3),
         )
+    if not result.complete:
+        return result  # summary notes need every (workload, policy) point
     overall = geometric_mean(
         [
             runs["round_robin"][w].kernel_ps / runs["static"][w].kernel_ps

@@ -78,6 +78,16 @@ class Simulator:
                     self.now = entry[0]
                     entry[2]()
                     executed += 1
+            elif until_ps is None and profiler is None:
+                # Bounded fast path: only an event budget.  The watchdog
+                # (repro.sim.watchdog) runs every simulation in slices of
+                # ``max_events``, so this loop is as hot as the one above —
+                # it adds a single integer comparison per event.
+                while queue and executed < max_events:
+                    entry = pop(queue)
+                    self.now = entry[0]
+                    entry[2]()
+                    executed += 1
             else:
                 while queue:
                     if until_ps is not None and queue[0][0] > until_ps:

@@ -16,6 +16,7 @@ from ..core.virtual_gpu import VirtualGPU
 from ..errors import SimulationError
 from ..network.packet import reset_packet_ids
 from ..obs.bind import Observability
+from ..sim.watchdog import queue_depth_summary, resolve_limits, run_guarded
 from ..workloads.base import HostStep, KernelStep, Workload
 from .builder import MultiGPUSystem
 from .configs import ArchSpec
@@ -147,11 +148,22 @@ def run_workload_detailed(
             args={"bytes": workload.h2d_bytes},
         )
     sim.after(result.h2d_ps, run_step)
-    sim.run()
+    # The watchdog runs the engine in bounded slices so a livelocked
+    # configuration (events forever, no progress) dies with a diagnostic
+    # instead of hanging the process; see repro.sim.watchdog.
+    max_events, wall_s = resolve_limits(cfg)
+    run_guarded(
+        sim,
+        max_events=max_events,
+        wall_s=wall_s,
+        label=f"{workload.name} on {spec.name}",
+        describe=lambda: queue_depth_summary(system),
+    )
     if not state["finished"]:
         raise SimulationError(
             f"run of {workload.name} on {spec.name} deadlocked: "
-            f"{sim.pending_events} events pending, step {state['idx']}/{len(steps)}"
+            f"{sim.pending_events} events pending, "
+            f"step {state['idx']}/{len(steps)}; {queue_depth_summary(system)}"
         )
 
     _collect(result, system, vgpu, collect_traffic, state["end_ps"])

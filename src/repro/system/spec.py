@@ -110,11 +110,15 @@ def _encode(value: Any) -> Any:
 
 def _encode_dataclass(value: Any) -> Dict[str, Any]:
     """Init fields only: derived (``init=False``) fields are recomputed by
-    ``__post_init__`` on the way back in."""
+    ``__post_init__`` on the way back in.  Fields tagged
+    ``metadata={"identity": False}`` (operational knobs such as the
+    watchdog budgets, which can never change a run's results) are left out
+    of the canonical form so they never perturb cache keys; ``from_dict``
+    still accepts them when present."""
     return {
         f.name: _encode(getattr(value, f.name))
         for f in dataclasses.fields(value)
-        if f.init
+        if f.init and f.metadata.get("identity", True)
     }
 
 

@@ -1,0 +1,96 @@
+"""Synthetic pathological workloads for exercising the failure paths.
+
+These are *diagnostic* tools, not benchmarks: each factory builds (or
+refuses to build) a workload that drives one failure mode of the sweep
+machinery, so the executor's isolation, the result cache's salvage, and
+the engine watchdog can be tested — and demonstrated from the CLI — with
+real end-to-end runs instead of mocks.
+
+All factories are addressable through
+:class:`~repro.system.spec.WorkloadRef`, e.g.::
+
+    WorkloadRef("livelock", factory="repro.workloads.diagnostics:make_livelock")
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from ..core.kernel import Kernel, Phase
+from .base import KernelStep, Workload
+
+
+def make_crash(message: str = "injected diagnostic failure") -> Workload:
+    """Fail to build: raises ``RuntimeError(message)``.
+
+    Models a sweep point whose worker dies with an ordinary exception
+    (bad parameters, impossible topology, ...): the executor must turn it
+    into a :class:`~repro.exec.jobs.JobFailure` without losing the
+    sweep's healthy points.
+    """
+    raise RuntimeError(message)
+
+
+class _EndlessPhases(Sequence):
+    """A lazy, effectively infinite CTA phase list.
+
+    The SM walks phases by index (``ctx.phases[ctx.phase_idx]``), so a
+    sequence that always has one more phase keeps the simulation
+    scheduling events forever — a true livelock (events keep firing, sim
+    time keeps advancing, nothing completes) rather than a deadlock.
+    """
+
+    def __init__(self, compute_ps: int) -> None:
+        self._phase = Phase(compute_ps=compute_ps, accesses=())
+
+    def __len__(self) -> int:
+        return 2**62
+
+    def __getitem__(self, index: int) -> Phase:
+        return self._phase
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _EndlessPhases) and other._phase == self._phase
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def make_livelock(compute_ps: int = 1_000) -> Workload:
+    """A kernel whose single CTA re-schedules itself forever.
+
+    Without the watchdog this hangs ``sim.run()`` with no diagnostic;
+    with it, the run dies with a :class:`~repro.errors.SimulationError`
+    naming the budget and the queue depths.
+    """
+    kernel = Kernel(
+        name="livelock",
+        grid_dim=(1,),
+        cta_program=lambda cta: _EndlessPhases(compute_ps),
+        workload="livelock",
+    )
+    return Workload(
+        name="livelock",
+        steps=[KernelStep(kernel)],
+        description="self-rescheduling CTA; never terminates (watchdog bait)",
+    )
+
+
+def make_kill_worker(sentinel: Optional[str] = None) -> Workload:
+    """Kill the building process with ``os._exit`` — once, or always.
+
+    Models a worker lost to the OOM killer or a native crash: the future
+    comes back ``BrokenProcessPool`` and the executor must respawn the
+    pool and resubmit the lost jobs.  With a ``sentinel`` path the first
+    build creates the file and dies, and every later build (the retry)
+    succeeds — so the bounded-retry path can be exercised end to end.
+    Without a sentinel every build dies, exhausting the retry budget.
+    """
+    if sentinel is not None and os.path.exists(sentinel):
+        from .vectoradd import make_vectoradd
+
+        return make_vectoradd(num_ctas=2, lines_per_cta=1, phases_per_cta=1)
+    if sentinel is not None:
+        with open(sentinel, "w") as handle:
+            handle.write("worker killed once\n")
+    os._exit(43)

@@ -97,6 +97,45 @@ def test_disk_cache_survives_new_instance(tmp_path):
     assert hit is not None and hit.kernel_ps == 777
 
 
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    job = _job()
+    result = RunResult(workload="KMN", arch="GMN")
+    result.kernel_ps = 42
+    ResultCache(str(tmp_path)).put(job, result)
+    (pkl,) = tmp_path.glob("*.pkl")
+    pkl.write_bytes(b"not a pickle")
+
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get(job) is None
+    assert fresh.stats.corrupt == 1 and fresh.stats.misses == 1
+    assert not pkl.exists()  # dropped, so the next put starts clean
+    assert "corrupt" in fresh.stats.as_note()
+    # The sweep recomputes and re-stores; the entry works again.
+    fresh.put(job, result)
+    assert fresh.get(job).kernel_ps == 42
+
+
+def test_truncated_disk_entry_is_a_miss(tmp_path):
+    job = _job()
+    ResultCache(str(tmp_path)).put(job, RunResult(workload="KMN", arch="GMN"))
+    (pkl,) = tmp_path.glob("*.pkl")
+    pkl.write_bytes(pkl.read_bytes()[: len(pkl.read_bytes()) // 2])
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get(job) is None
+    assert fresh.stats.corrupt == 1
+    assert not pkl.exists()
+
+
+def test_corrupt_memory_entry_is_a_miss():
+    cache = ResultCache()
+    job = _job()
+    cache.put(job, RunResult(workload="KMN", arch="GMN"))
+    key = next(iter(cache._mem))
+    cache._mem[key] = b"garbage"
+    assert cache.get(job) is None
+    assert cache.stats.corrupt == 1 and len(cache) == 0
+
+
 def test_clear_empties_memory_and_disk(tmp_path):
     cache = ResultCache(str(tmp_path))
     cache.put(_job(), RunResult(workload="KMN", arch="GMN"))

@@ -40,6 +40,19 @@ def test_jobs_from_env(monkeypatch):
     assert jobs_from_env() == 1  # clamped to serial, not an error
 
 
+def test_jobs_from_env_warns_on_invalid_value(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "four")
+    assert jobs_from_env(default=2) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_JOBS='four'" in err and "2 worker(s)" in err
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    assert jobs_from_env() == 1
+    assert "clamped to 1 worker" in capsys.readouterr().err
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    jobs_from_env()
+    assert capsys.readouterr().err == ""  # valid values stay silent
+
+
 def test_executor_reads_env(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "3")
     assert SweepExecutor().jobs == 3
@@ -87,7 +100,8 @@ def test_execute_job_applies_run_kwargs():
     job = SweepJob.make(
         get_spec("GMN"), WorkloadRef("VEC", 0.05), cfg, num_active_gpus=1
     )
-    assert execute_job(job).workload == "vectorAdd"
+    outcome = execute_job(job)
+    assert outcome.ok and outcome.result.workload == "vectorAdd"
 
 
 def test_sweep_defaults_scopes_executor():

@@ -169,3 +169,79 @@ class TestPerfFlags:
         assert main(["fig12", "--jobs", "2", "--trace", str(trace)]) == 0
         assert "running serially" in capsys.readouterr().err
         assert exec_runtime.get_default_jobs() == 1
+
+
+class TestRobustnessFlags:
+    @pytest.fixture(autouse=True)
+    def _reset_defaults(self):
+        from repro.exec import runtime as exec_runtime
+        from repro.sim import watchdog
+
+        yield
+        exec_runtime.set_default_jobs(None)
+        exec_runtime.set_default_cache(None)
+        exec_runtime.set_default_keep_going(False)
+        watchdog.set_default_limits(None, None)
+
+    def test_keep_going_flag_installs_default(self, capsys):
+        from repro.exec import runtime as exec_runtime
+
+        assert main(["fig12", "--keep-going"]) == 0
+        assert exec_runtime.get_default_keep_going() is True
+
+    def test_watchdog_flags_install_defaults(self, capsys):
+        from repro.sim import watchdog
+
+        assert main(["fig12", "--max-events", "5000", "--wall-limit", "2.5"]) == 0
+        assert watchdog.get_default_limits() == (5000, 2.5)
+
+    def test_run_watchdog_trip_exits_nonzero(self, capsys):
+        rc = main(
+            ["run", "VEC", "--arch", "UMN", "--scale", "0.1",
+             "--max-events", "50"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "watchdog" in err and "livelocked" in err
+
+    def test_run_generous_watchdog_is_harmless(self, capsys):
+        assert main(
+            ["run", "VEC", "--arch", "UMN", "--scale", "0.1",
+             "--max-events", "100000000"]
+        ) == 0
+        assert "vectorAdd" in capsys.readouterr().out
+
+    def test_experiment_failures_exit_3(self, capsys, monkeypatch):
+        from repro.exec import JobFailure
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.common import ExperimentResult
+
+        def fake():
+            result = ExperimentResult("figx", "synthetic")
+            result.add(point="healthy", value=1)
+            result.failures.append(
+                JobFailure("bad-point", "RuntimeError", "boom", "tb")
+            )
+            return result
+
+        monkeypatch.setitem(EXPERIMENTS, "figx", fake)
+        assert main(["figx"]) == 3
+        captured = capsys.readouterr()
+        assert "bad-point: RuntimeError: boom" in captured.out
+        assert "1 failed" in captured.err
+
+    def test_experiment_sweep_abort_exits_1(self, capsys, monkeypatch):
+        from repro.errors import SweepError
+        from repro.exec import JobFailure
+        from repro.experiments import EXPERIMENTS
+
+        def fake():
+            raise SweepError(
+                "sweep point 'bad-point' failed",
+                failures=[JobFailure("bad-point", "RuntimeError", "boom", "tb\n")],
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "figx", fake)
+        assert main(["figx"]) == 1
+        err = capsys.readouterr().err
+        assert "aborted" in err and "bad-point" in err
