@@ -22,7 +22,20 @@ Performance flags (``all`` and every experiment subcommand):
   workload, code version); with DIR the cache persists on disk across
   invocations (``REPRO_CACHE_DIR`` is the environment equivalent).
 - ``--bench-json DIR`` — write a ``BENCH_<experiment>.json`` wall-clock
-  record for the run (see docs/performance.md).
+  record for the run, including simulated events and events/sec when the
+  sweep executed anything (see docs/performance.md).
+
+Sweep telemetry flags (``all`` and every experiment subcommand; see
+docs/observability.md "Sweep telemetry & flight recorder"):
+
+- ``--progress MODE`` — live per-job progress: ``tty`` renders a one-line
+  progress bar with an ETA, ``jsonl`` streams one JSON event per job
+  state transition on stderr (machine-readable), ``none`` is silent, and
+  ``auto`` (default) picks tty when stderr is a terminal.
+- ``--runlog DIR`` — persist the sweep's flight recorder as
+  ``RUNLOG_<experiment>.jsonl`` (per-job wall time, events, events/sec,
+  cache provenance, retries, worker pid + a summary record).
+  ``--progress jsonl`` implies ``--runlog .`` unless overridden.
 
 Robustness flags (``run``, ``all``, and every experiment subcommand; see
 docs/robustness.md):
@@ -40,7 +53,10 @@ docs/robustness.md):
 Observability flags (``run`` and every experiment subcommand):
 
 - ``--trace OUT.json`` — record a Chrome trace-event timeline (kernels,
-  CTAs, memcpies, packets, vault service); open it in Perfetto.
+  CTAs, memcpies, packets, vault service); open it in Perfetto.  On a
+  parallel sweep (``--jobs N``) every pool worker records per-job traces
+  and the parent merges them into one timeline (one trace process per
+  worker, one thread lane per job).
 - ``--timeseries [US]`` — sample congestion gauges every US simulated
   microseconds (default 5); ``run`` surfaces them in ``--report``.
 - ``--profile`` — wall-clock profile of the event loop, printed at exit.
@@ -50,15 +66,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
+import tempfile
 import time
 from typing import List, Optional
 
 from .errors import ConfigError, SimulationError, SweepError
-from .exec import ResultCache, jobs_from_env, write_bench
+from .exec import ResultCache, jobs_from_env, process_cache_stats, write_bench
 from .exec import runtime as exec_runtime
 from .experiments import EXPERIMENTS
-from .obs import Observability, default_observability
+from .obs import Observability, default_observability, make_progress
+from .obs.telemetry import merge_trace_dir, runlog_path, write_runlog
 from .sim import watchdog
 from .system.configs import available_archs, get_spec
 from .system.report import system_report
@@ -147,6 +166,24 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         help="finish the sweep past failed points and report a failure "
         "table (exit code 3) instead of failing fast on the first error",
     )
+    parser.add_argument(
+        "--progress",
+        choices=("auto", "tty", "jsonl", "none"),
+        default="auto",
+        help="live sweep progress: tty = one-line bar with ETA, jsonl = "
+        "one JSON event per job state transition on stderr, auto "
+        "(default) = tty only when stderr is a terminal",
+    )
+    parser.add_argument(
+        "--runlog",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write the sweep flight recorder to "
+        "DIR/RUNLOG_<experiment>.jsonl (default DIR: current directory; "
+        "implied by --progress jsonl)",
+    )
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
@@ -168,28 +205,70 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _install_perf_defaults(args, obs: Optional[Observability] = None) -> None:
-    """Install --jobs/--cache as the process-wide sweep defaults."""
+def _install_perf_defaults(args, obs: Optional[Observability] = None):
+    """Install --jobs/--cache/--progress as process-wide sweep defaults.
+
+    Returns ``(obs, trace_dir)``: on a parallel trace-only sweep the
+    parent's bundle is replaced by per-worker job traces collected under
+    ``trace_dir`` (merged by :func:`_merge_sweep_trace` afterwards), so
+    the returned ``obs`` is what the command should actually install.
+    """
     jobs = getattr(args, "jobs", None)
     if jobs is None:
         jobs = jobs_from_env(default=1)
+    trace_dir = None
     if obs is not None and jobs > 1:
-        # Pool workers cannot share a tracer/sampler/profiler; rather than
-        # silently produce an empty trace, keep the sweep in-process.
-        print(
-            "warning: observability flags need in-process execution; "
-            f"running serially instead of with {jobs} workers",
-            file=sys.stderr,
-        )
-        jobs = 1
+        if (
+            getattr(args, "trace", None)
+            and obs.sample_interval_ps == 0
+            and obs.profiler is None
+        ):
+            # Trace-only parallel sweep: every worker records per-job
+            # Chrome traces into trace_dir; the parent merges them into
+            # one Perfetto timeline after the sweep (docs/observability.md).
+            trace_dir = tempfile.mkdtemp(prefix="repro-sweep-trace-")
+            obs = None
+        else:
+            # A sampler/profiler cannot cross the pool boundary; rather
+            # than silently produce empty output, keep the sweep in-process.
+            print(
+                "warning: --timeseries/--profile need in-process execution; "
+                f"running serially instead of with {jobs} workers",
+                file=sys.stderr,
+            )
+            jobs = 1
     exec_runtime.set_default_jobs(jobs)
     exec_runtime.set_default_keep_going(getattr(args, "keep_going", False))
+    exec_runtime.set_default_trace_dir(trace_dir)
+    exec_runtime.set_default_progress(
+        make_progress(getattr(args, "progress", "none"))
+    )
     cache_arg = getattr(args, "cache", None)
     if cache_arg is not None:
         exec_runtime.set_default_cache(ResultCache(cache_arg or None))
     watchdog.set_default_limits(
         getattr(args, "max_events", None), getattr(args, "wall_limit", None)
     )
+    return obs, trace_dir
+
+
+def _merge_sweep_trace(trace_dir: str, out_path: str) -> None:
+    """Fold the workers' per-job traces into the requested --trace file."""
+    info = merge_trace_dir(trace_dir, out_path)
+    shutil.rmtree(trace_dir, ignore_errors=True)
+    print(
+        f"[trace: merged {info['files']} job trace(s) from "
+        f"{info['workers']} worker(s) -> {out_path}]"
+    )
+
+
+def _runlog_dir(args) -> Optional[str]:
+    """Where the flight recorder lands (--runlog; jsonl progress implies
+    the current directory so the machine-readable artifacts pair up)."""
+    runlog = getattr(args, "runlog", None)
+    if runlog is None and getattr(args, "progress", None) == "jsonl":
+        runlog = "."
+    return runlog
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -222,6 +301,7 @@ def _run_experiment(
     save: Optional[str] = None,
     obs: Optional[Observability] = None,
     bench_json: Optional[str] = None,
+    runlog: Optional[str] = None,
 ) -> int:
     """Run one experiment; returns the exit code (0 ok, 1 fail-fast
     sweep abort, 3 completed-with-failures under --keep-going)."""
@@ -255,9 +335,27 @@ def _run_experiment(
     if cache is not None and (cache.stats.hits or cache.stats.misses):
         note += f" ({cache.stats.as_note()})"
     print(f"[{name} completed in {wall:.1f}s{note}]")
+    events = sum(t.events for t in result.telemetry if t.source == "run")
+    if result.telemetry:
+        s = result.flight_summary()
+        print(
+            f"[flight: {s['ran']} ran, {s['cached']} cached, "
+            f"{s['failed']} failed, {s['events']} events, "
+            f"{s['events_per_sec']:.0f} ev/s, "
+            f"peak pending {s['peak_pending']}]"
+        )
     if save:
         result.save(save)
         print(f"[saved to {save}]")
+    if runlog:
+        path = write_runlog(
+            str(runlog_path(runlog, _BENCH_ALIAS.get(name, name))),
+            name,
+            result.telemetry,
+            failures=result.failures,
+            cache_stats=process_cache_stats(),
+        )
+        print(f"[runlog -> {path}]")
     if bench_json:
         path = write_bench(
             _BENCH_ALIAS.get(name, name),
@@ -265,6 +363,7 @@ def _run_experiment(
             directory=bench_json,
             jobs=jobs,
             rows=len(result.rows),
+            events=events or None,
         )
         print(f"[bench record -> {path}]")
     if result.failures:
@@ -384,27 +483,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("architectures:", ", ".join(available_archs()))
         return 0
     if args.command == "all":
-        obs = _make_obs(args)
-        _install_perf_defaults(args, obs)
+        obs, trace_dir = _install_perf_defaults(args, _make_obs(args))
         rc = 0
         for name in EXPERIMENTS:
             if name == "fig17":
                 continue  # shares the fig16 sweep
             rc = max(
                 rc,
-                _run_experiment(name, args.scale, obs=obs, bench_json=args.bench_json),
+                _run_experiment(
+                    name,
+                    args.scale,
+                    obs=obs,
+                    bench_json=args.bench_json,
+                    runlog=_runlog_dir(args),
+                ),
             )
             print()
-        _finish_obs(obs, args)
+        if trace_dir is not None:
+            _merge_sweep_trace(trace_dir, args.trace)
+        else:
+            _finish_obs(obs, args)
         return rc
     if args.command == "run":
         return _run_one(args)
-    obs = _make_obs(args)
-    _install_perf_defaults(args, obs)
+    obs, trace_dir = _install_perf_defaults(args, _make_obs(args))
     rc = _run_experiment(
-        args.command, args.scale, args.save, obs=obs, bench_json=args.bench_json
+        args.command,
+        args.scale,
+        args.save,
+        obs=obs,
+        bench_json=args.bench_json,
+        runlog=_runlog_dir(args),
     )
-    _finish_obs(obs, args)
+    if trace_dir is not None:
+        _merge_sweep_trace(trace_dir, args.trace)
+    else:
+        _finish_obs(obs, args)
     return rc
 
 

@@ -31,18 +31,37 @@ from .bench import (
     load_bench,
     write_bench,
 )
-from .cache import CacheStats, ResultCache, code_version, job_fingerprint, job_key
+from .cache import (
+    CacheStats,
+    ResultCache,
+    code_version,
+    job_fingerprint,
+    job_key,
+    process_cache_stats,
+)
 from .executor import JOBS_ENV, SweepExecutor, jobs_from_env
-from .jobs import JobFailure, JobOutcome, SweepJob, SystemSpec, WorkloadRef, execute_job
+from .jobs import (
+    JobFailure,
+    JobOutcome,
+    JobTelemetry,
+    SweepJob,
+    SystemSpec,
+    WorkloadRef,
+    execute_job,
+)
 from .runtime import (
     CACHE_DIR_ENV,
     default_executor,
     get_default_cache,
     get_default_jobs,
     get_default_keep_going,
+    get_default_progress,
+    get_default_trace_dir,
     set_default_cache,
     set_default_jobs,
     set_default_keep_going,
+    set_default_progress,
+    set_default_trace_dir,
     sweep_defaults,
 )
 
@@ -52,6 +71,7 @@ __all__ = [
     "JOBS_ENV",
     "JobFailure",
     "JobOutcome",
+    "JobTelemetry",
     "ResultCache",
     "SweepExecutor",
     "SweepJob",
@@ -68,12 +88,17 @@ __all__ = [
     "get_default_cache",
     "get_default_jobs",
     "get_default_keep_going",
+    "get_default_progress",
+    "get_default_trace_dir",
     "job_fingerprint",
     "job_key",
     "jobs_from_env",
+    "process_cache_stats",
     "set_default_cache",
     "set_default_jobs",
     "set_default_keep_going",
+    "set_default_progress",
+    "set_default_trace_dir",
     "sweep_defaults",
     "write_bench",
 ]

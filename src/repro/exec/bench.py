@@ -3,8 +3,10 @@
 The ROADMAP's "as fast as the hardware allows" goal needs a measured
 trajectory: every perf PR should be able to show its before/after.  This
 module writes one small JSON record per benchmarked sweep — experiment
-name, wall-clock seconds, worker count, row count, code digest — in a
-stable schema that tooling (and CI artifacts) can diff across commits.
+name, wall-clock seconds, worker count, row count, simulation events and
+events/sec throughput, code digest — in a stable schema that tooling
+(and CI artifacts) can diff across commits.  The diff gate checks both
+directions: wall-clock slowdowns and events/sec throughput drops.
 
 Producers:
 
@@ -28,9 +30,17 @@ def bench_record(
     wall_s: float,
     jobs: Optional[int] = None,
     rows: Optional[int] = None,
+    events: Optional[int] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Build one benchmark record in the stable ``BENCH_*.json`` schema."""
+    """Build one benchmark record in the stable ``BENCH_*.json`` schema.
+
+    ``events`` is the number of simulation events actually executed
+    (cache hits excluded); when given, the record also carries
+    ``events_per_sec`` so the diff gate can catch throughput drift —
+    "same wall clock, fewer events simulated" — that a pure wall-clock
+    comparison cannot see.
+    """
     from .cache import code_version
 
     record: Dict[str, Any] = {
@@ -43,6 +53,9 @@ def bench_record(
         "code_version": code_version(),
         "timestamp": int(time.time()),
     }
+    if events is not None:
+        record["events"] = events
+        record["events_per_sec"] = round(events / wall_s, 1) if wall_s > 0 else 0.0
     if extra:
         record.update(extra)
     return record
@@ -54,13 +67,14 @@ def write_bench(
     directory: str = ".",
     jobs: Optional[int] = None,
     rows: Optional[int] = None,
+    events: Optional[int] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
     out_dir = Path(directory)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    record = bench_record(name, wall_s, jobs=jobs, rows=rows, extra=extra)
+    record = bench_record(name, wall_s, jobs=jobs, rows=rows, events=events, extra=extra)
     path.write_text(json.dumps(record, indent=2) + "\n")
     return path
 
@@ -87,7 +101,10 @@ def diff_bench(
 
     Returns ``{"entries": [...], "regressions": [names], "threshold": t}``.
     An entry is a regression when the fresh wall-clock exceeds the baseline
-    by more than ``threshold`` (fractional).  Baselines with no fresh
+    by more than ``threshold`` (fractional), **or** — when both records
+    carry ``events_per_sec`` — when fresh simulation throughput drops
+    below the baseline by more than ``threshold`` (catches "same wall
+    clock, fewer events simulated" drift).  Baselines with no fresh
     record and fresh records with no baseline are reported but never fail
     the diff — only a measured like-for-like slowdown does.
     """
@@ -112,14 +129,29 @@ def diff_bench(
         for key in ("jobs", "rows"):
             if frec.get(key) != brec.get(key):
                 notes.append(f"{key} differ: {frec.get(key)} vs baseline {brec.get(key)}")
-        entries.append({
+        entry = {
             "bench": brec["bench"],
             "status": status,
             "baseline_s": brec["wall_clock_s"],
             "fresh_s": frec["wall_clock_s"],
             "ratio": round(ratio, 4),
             "notes": notes,
-        })
+        }
+        base_eps = brec.get("events_per_sec")
+        fresh_eps = frec.get("events_per_sec")
+        if base_eps and fresh_eps:
+            eps_ratio = fresh_eps / base_eps
+            entry["baseline_eps"] = base_eps
+            entry["fresh_eps"] = fresh_eps
+            entry["eps_ratio"] = round(eps_ratio, 4)
+            if eps_ratio * (1.0 + threshold) < 1.0:
+                notes.append(
+                    f"throughput dropped {base_eps:.0f} -> {fresh_eps:.0f} ev/s"
+                )
+                if status != "regression":
+                    entry["status"] = "regression-throughput"
+                    regressions.append(brec["bench"])
+        entries.append(entry)
     for fname, frec in fresh.items():
         if fname not in base:
             entries.append({"bench": frec["bench"], "status": "no-baseline",
@@ -132,20 +164,24 @@ def format_diff(diff: Dict[str, Any]) -> str:
     lines = [
         f"# Bench diff (threshold +{diff['threshold'] * 100:.0f}%)",
         "",
-        "| bench | baseline s | fresh s | ratio | status |",
-        "|---|---|---|---|---|",
+        "| bench | baseline s | fresh s | ratio | ev/s ratio | status |",
+        "|---|---|---|---|---|---|",
     ]
     for e in diff["entries"]:
         base_s = e.get("baseline_s", "-")
         fresh_s = e.get("fresh_s", "-")
         ratio = e.get("ratio", "-")
-        lines.append(f"| {e['bench']} | {base_s} | {fresh_s} | {ratio} | {e['status']} |")
+        eps_ratio = e.get("eps_ratio", "-")
+        lines.append(
+            f"| {e['bench']} | {base_s} | {fresh_s} | {ratio} "
+            f"| {eps_ratio} | {e['status']} |"
+        )
         for note in e.get("notes", ()):
-            lines.append(f"| | | | | ({note}) |")
+            lines.append(f"| | | | | | ({note}) |")
     if diff["regressions"]:
         lines += ["", f"**REGRESSION** in: {', '.join(diff['regressions'])}"]
     else:
-        lines += ["", "No wall-clock regressions."]
+        lines += ["", "No wall-clock or throughput regressions."]
     return "\n".join(lines) + "\n"
 
 

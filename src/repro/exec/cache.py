@@ -39,7 +39,8 @@ from .jobs import SweepJob
 
 #: Bump when the cached payload's semantics or the fingerprint layout
 #: change (e.g. new RunResult fields with behavior-affecting defaults).
-CACHE_SCHEMA = 2
+#: 3: RunResult grew telemetry fields (peak_pending_events).
+CACHE_SCHEMA = 3
 
 _code_digest: Optional[str] = None
 
@@ -84,11 +85,32 @@ class CacheStats:
     #: recomputed as a miss.
     corrupt: int = 0
 
+    def add(
+        self, hits: int = 0, misses: int = 0, stores: int = 0, corrupt: int = 0
+    ) -> None:
+        self.hits += hits
+        self.misses += misses
+        self.stores += stores
+        self.corrupt += corrupt
+
     def as_note(self) -> str:
         note = f"cache: {self.hits} hits, {self.misses} misses"
         if self.corrupt:
             note += f", {self.corrupt} corrupt entries dropped"
         return note
+
+
+#: Process-lifetime accumulator.  Instance stats vanish whenever a cache
+#: object is replaced (a new CLI default, an executor rebuilt around a
+#: respawned pool); this one survives them all, so the flight-recorder
+#: summary can report true whole-invocation hit/miss/corrupt counts.
+_PROCESS_STATS = CacheStats()
+
+
+def process_cache_stats() -> CacheStats:
+    """Hit/miss/store/corrupt counts accumulated across every
+    :class:`ResultCache` instance this process ever created."""
+    return _PROCESS_STATS
 
 
 class ResultCache:
@@ -100,6 +122,10 @@ class ResultCache:
             self.path.mkdir(parents=True, exist_ok=True)
         self._mem: Dict[str, bytes] = {}
         self.stats = CacheStats()
+
+    def _tally(self, **counts: int) -> None:
+        self.stats.add(**counts)
+        _PROCESS_STATS.add(**counts)
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -120,7 +146,7 @@ class ResultCache:
             except Exception:
                 # An unreadable/corrupt/truncated entry is a miss, not a
                 # crash: drop it everywhere and let the sweep recompute.
-                self.stats.corrupt += 1
+                self._tally(corrupt=1)
                 self._mem.pop(key, None)
                 if self.path is not None:
                     try:
@@ -129,16 +155,16 @@ class ResultCache:
                         pass
             else:
                 self._mem[key] = payload
-                self.stats.hits += 1
+                self._tally(hits=1)
                 return result
-        self.stats.misses += 1
+        self._tally(misses=1)
         return None
 
     def put(self, job: SweepJob, result: RunResult) -> None:
         key = job_key(job)
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         self._mem[key] = payload
-        self.stats.stores += 1
+        self._tally(stores=1)
         if self.path is not None:
             # Atomic write: a crashed/concurrent run never leaves a torn file.
             fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")

@@ -37,13 +37,15 @@ Failure semantics (docs/robustness.md):
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 import time
 from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor, as_completed
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SweepError
+from ..obs.telemetry import JobTelemetry, ProgressListener
 from ..sim import watchdog
 from ..system.metrics import RunResult
 from .cache import ResultCache
@@ -88,6 +90,8 @@ class SweepExecutor:
         keep_going: bool = False,
         pool_retries: int = 2,
         pool_backoff_s: float = 0.25,
+        progress: Optional[ProgressListener] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if jobs is None:
             jobs = jobs_from_env()
@@ -100,6 +104,13 @@ class SweepExecutor:
         self.keep_going = keep_going
         self.pool_retries = pool_retries
         self.pool_backoff_s = pool_backoff_s
+        #: Optional :class:`~repro.obs.telemetry.ProgressListener`
+        #: narrating job state transitions (see docs/observability.md).
+        self.progress = progress
+        #: When set, every executed job records a per-job Chrome trace
+        #: into this directory (the caller merges them with
+        #: :func:`~repro.obs.telemetry.merge_trace_dir`).
+        self.trace_dir = trace_dir
 
     # ------------------------------------------------------------------
     def map(self, jobs: Sequence[SweepJob]) -> List[Optional[RunResult]]:
@@ -123,12 +134,28 @@ class SweepExecutor:
         jobs = list(jobs)
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         pending: List[int] = []
+        self._emit({"event": "begin", "total": len(jobs)})
         for i, job in enumerate(jobs):
+            lookup_start = time.perf_counter()
             hit = self.cache.get(job) if self.cache is not None else None
             if hit is not None:
-                outcomes[i] = JobOutcome(result=hit)
+                telemetry = JobTelemetry(
+                    label=job.label,
+                    source="cache",
+                    wall_s=time.perf_counter() - lookup_start,
+                    events=hit.events_executed,
+                    peak_pending=hit.peak_pending_events,
+                    worker_pid=os.getpid(),
+                )
+                outcomes[i] = JobOutcome(result=hit, telemetry=telemetry)
+                self._emit(
+                    {"event": "cached", "label": job.label, "index": i}
+                )
             else:
                 pending.append(i)
+                self._emit(
+                    {"event": "submitted", "label": job.label, "index": i}
+                )
 
         if self.jobs > 1 and len(pending) > 1:
             self._map_pool(jobs, pending, outcomes)
@@ -144,15 +171,79 @@ class SweepExecutor:
                 f"{', '.join(lost[:5])}"
                 + (" ..." if len(lost) > 5 else "")
             )
-        return outcomes  # type: ignore[return-value]
+        done: List[JobOutcome] = outcomes  # type: ignore[assignment]
+        self._emit(
+            {
+                "event": "end",
+                "total": len(done),
+                "cached": sum(
+                    1
+                    for o in done
+                    if o.telemetry is not None and o.telemetry.source == "cache"
+                ),
+                "failed": sum(1 for o in done if not o.ok),
+            }
+        )
+        return done
 
     # ------------------------------------------------------------------
+    def _emit(self, event: Dict[str, Any]) -> None:
+        """Send one progress event (no-op without a listener).
+
+        Event timestamps (``t``) are seconds since this sweep's ``begin``.
+        """
+        if self.progress is None:
+            return
+        if event["event"] == "begin":
+            self._t0 = time.monotonic()
+        event["t"] = round(
+            time.monotonic() - getattr(self, "_t0", time.monotonic()), 4
+        )
+        self.progress.emit(event)
+
+    def _submittable(self, job: SweepJob) -> SweepJob:
+        """Stamp operational knobs (per-job tracing) onto a job copy."""
+        if self.trace_dir is None:
+            return job
+        return dataclasses.replace(job, trace_dir=self.trace_dir)
+
     def _store(self, job: SweepJob, outcome: JobOutcome) -> None:
         """Cache a success immediately — salvage against later failures."""
         if self.cache is not None and outcome.ok:
             self.cache.put(job, outcome.result)
 
+    def _landed(self, i: int, job: SweepJob, outcome: JobOutcome) -> None:
+        """Shared completion bookkeeping: salvage + progress narration."""
+        self._store(job, outcome)
+        t = outcome.telemetry
+        if outcome.ok:
+            self._emit(
+                {
+                    "event": "completed",
+                    "label": job.label,
+                    "index": i,
+                    "wall_s": round(t.wall_s, 4) if t else None,
+                    "events": t.events if t else None,
+                    "events_per_sec": round(t.events_per_sec, 1) if t else None,
+                    "worker_pid": t.worker_pid if t else None,
+                    "retries": t.retries if t else 0,
+                }
+            )
+        else:
+            self._emit(
+                {
+                    "event": "failed",
+                    "label": job.label,
+                    "index": i,
+                    "wall_s": outcome.failure.wall_s,
+                    "exc_type": outcome.failure.exc_type,
+                    "message": outcome.failure.message,
+                }
+            )
+
     def _fail_fast(self, failure) -> None:
+        if self.progress is not None:
+            self.progress.close()  # finish any partial TTY line first
         raise SweepError(
             f"sweep point {failure.label!r} failed: "
             f"{failure.exc_type}: {failure.message} "
@@ -168,9 +259,10 @@ class SweepExecutor:
         outcomes: List[Optional[JobOutcome]],
     ) -> None:
         for i in pending:
-            outcome = execute_job(jobs[i])
+            self._emit({"event": "started", "label": jobs[i].label, "index": i})
+            outcome = execute_job(self._submittable(jobs[i]))
             outcomes[i] = outcome
-            self._store(jobs[i], outcome)
+            self._landed(i, jobs[i], outcome)
             if not outcome.ok and not self.keep_going:
                 self._fail_fast(outcome.failure)
 
@@ -181,13 +273,16 @@ class SweepExecutor:
         outcomes: List[Optional[JobOutcome]],
     ) -> None:
         remaining = list(pending)
+        retry_counts: Dict[int, int] = {}
         attempts = 0
         while remaining:
-            lost = self._pool_round(jobs, remaining, outcomes)
+            lost = self._pool_round(jobs, remaining, outcomes, retry_counts)
             if not lost:
                 return
             attempts += 1
             if attempts > self.pool_retries:
+                if self.progress is not None:
+                    self.progress.close()
                 raise SweepError(
                     f"worker pool died {attempts} time(s); giving up on "
                     f"{len(lost)} unfinished job(s): "
@@ -200,6 +295,16 @@ class SweepExecutor:
                 f"(attempt {attempts}/{self.pool_retries})",
                 file=sys.stderr,
             )
+            for i in lost:
+                retry_counts[i] = retry_counts.get(i, 0) + 1
+                self._emit(
+                    {
+                        "event": "retried",
+                        "label": jobs[i].label,
+                        "index": i,
+                        "attempt": attempts,
+                    }
+                )
             time.sleep(self.pool_backoff_s * attempts)
             remaining = lost
 
@@ -208,10 +313,16 @@ class SweepExecutor:
         jobs: List[SweepJob],
         indices: List[int],
         outcomes: List[Optional[JobOutcome]],
+        retry_counts: Optional[Dict[int, int]] = None,
     ) -> List[int]:
         """One pool lifetime: submit ``indices``, drain with
         ``as_completed`` (caching each success as it lands), and return
-        the indices lost to pool breakage, in submission order."""
+        the indices lost to pool breakage, in submission order.
+
+        ``started`` is emitted at pool hand-off (a worker may dequeue the
+        job slightly later); the landed outcome's telemetry pins the true
+        execution wall time and worker pid.
+        """
         workers = min(self.jobs, len(indices))
         lost: List[int] = []
         first_failure = None
@@ -220,9 +331,14 @@ class SweepExecutor:
             initializer=_worker_initializer,
             initargs=(watchdog.get_default_limits(),),
         ) as pool:
-            future_to_index = {
-                pool.submit(execute_job, jobs[i]): i for i in indices
-            }
+            future_to_index = {}
+            for i in indices:
+                future_to_index[
+                    pool.submit(execute_job, self._submittable(jobs[i]))
+                ] = i
+                self._emit(
+                    {"event": "started", "label": jobs[i].label, "index": i}
+                )
             for future in as_completed(future_to_index):
                 i = future_to_index[future]
                 try:
@@ -232,8 +348,10 @@ class SweepExecutor:
                 except BrokenExecutor:
                     lost.append(i)
                     continue
+                if outcome.telemetry is not None and retry_counts:
+                    outcome.telemetry.retries = retry_counts.get(i, 0)
                 outcomes[i] = outcome
-                self._store(jobs[i], outcome)
+                self._landed(i, jobs[i], outcome)
                 if not outcome.ok and first_failure is None and not self.keep_going:
                     # Fail fast, but salvage first: cancel what hasn't
                     # started and keep draining what has, so every finished

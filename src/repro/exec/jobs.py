@@ -21,11 +21,14 @@ its siblings' results are salvaged.
 
 from __future__ import annotations
 
+import os
+import time
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 from ..config import SystemConfig
+from ..obs.telemetry import JobTelemetry, write_worker_trace
 from ..system.configs import ArchSpec
 from ..system.metrics import RunResult
 from ..system.spec import SystemSpec, WorkloadRef
@@ -33,6 +36,7 @@ from ..system.spec import SystemSpec, WorkloadRef
 __all__ = [
     "JobFailure",
     "JobOutcome",
+    "JobTelemetry",
     "SweepJob",
     "WorkloadRef",
     "SystemSpec",
@@ -46,10 +50,14 @@ class SweepJob:
 
     ``tag`` is a free-form label for progress display and debugging; it is
     *not* part of the cache identity (the :class:`SystemSpec` is).
+    ``trace_dir`` is an operational knob the executor stamps on before
+    submission: when set, the worker records a per-job Chrome trace into
+    that directory for the parent to merge (never hashed, never compared).
     """
 
     system: SystemSpec
     tag: Optional[str] = field(default=None, compare=False)
+    trace_dir: Optional[str] = field(default=None, compare=False)
 
     @classmethod
     def make(
@@ -89,15 +97,27 @@ class SweepJob:
 
 @dataclass(frozen=True)
 class JobFailure:
-    """A sweep point's failure, reduced to plain (picklable) strings."""
+    """A sweep point's failure, reduced to plain (picklable) strings.
+
+    ``wall_s`` records how long the point ran before dying, so a
+    slow-then-crash sweep point (e.g. a watchdog trip after minutes of
+    spinning) is distinguishable from a fast config error in the
+    ``--keep-going`` failure table.
+    """
 
     label: str
     exc_type: str
     message: str
     traceback: str
+    wall_s: Optional[float] = None
 
     @classmethod
-    def from_exception(cls, job: SweepJob, exc: BaseException) -> "JobFailure":
+    def from_exception(
+        cls,
+        job: SweepJob,
+        exc: BaseException,
+        wall_s: Optional[float] = None,
+    ) -> "JobFailure":
         return cls(
             label=job.label,
             exc_type=type(exc).__name__,
@@ -105,18 +125,28 @@ class JobFailure:
             traceback="".join(
                 _traceback.format_exception(type(exc), exc, exc.__traceback__)
             ),
+            wall_s=wall_s,
         )
 
     def summary(self) -> str:
-        return f"{self.label}: {self.exc_type}: {self.message}"
+        text = f"{self.label}: {self.exc_type}: {self.message}"
+        if self.wall_s is not None:
+            text += f" (after {self.wall_s:.2f}s)"
+        return text
 
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """What one :func:`execute_job` call produced: a result *or* a failure."""
+    """What one :func:`execute_job` call produced: a result *or* a failure.
+
+    ``telemetry`` describes *how* the point executed (flight-recorder
+    record); it is excluded from equality so outcome comparisons stay
+    about the simulated data.
+    """
 
     result: Optional[RunResult] = None
     failure: Optional[JobFailure] = None
+    telemetry: Optional[JobTelemetry] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if (self.result is None) == (self.failure is None):
@@ -133,11 +163,46 @@ def execute_job(job: SweepJob) -> JobOutcome:
     Any exception — a bad workload reference, a config error, a watchdog
     trip — is captured as a :class:`JobFailure` rather than raised, so a
     pool worker always hands back a picklable, attributable outcome.
+
+    Every outcome carries a :class:`~repro.obs.telemetry.JobTelemetry`
+    flight-recorder record; when the job asks for tracing
+    (``job.trace_dir``), the run is traced and the per-job Chrome trace is
+    dumped for the parent to merge (tracing records the identical event
+    stream, so results are byte-equal to an untraced run).
     """
+    obs = None
+    if job.trace_dir is not None:
+        from ..obs.bind import Observability
+
+        obs = Observability(trace=True)
+    start = time.perf_counter()
     try:
-        return JobOutcome(result=job.system.run())
+        result = job.system.run(obs=obs)
     except Exception as exc:
-        return JobOutcome(failure=JobFailure.from_exception(job, exc))
+        wall = time.perf_counter() - start
+        return JobOutcome(
+            failure=JobFailure.from_exception(job, exc, wall_s=wall),
+            telemetry=JobTelemetry(
+                label=job.label,
+                source="failed",
+                wall_s=wall,
+                worker_pid=os.getpid(),
+            ),
+        )
+    wall = time.perf_counter() - start
+    if obs is not None and obs.tracer is not None:
+        write_worker_trace(obs.tracer, job.trace_dir, job.label)
+    return JobOutcome(
+        result=result,
+        telemetry=JobTelemetry(
+            label=job.label,
+            source="run",
+            wall_s=wall,
+            events=result.events_executed,
+            peak_pending=result.peak_pending_events,
+            worker_pid=os.getpid(),
+        ),
+    )
 
 
 def _worker_initializer(watchdog_limits: Tuple[Optional[int], Optional[float]] = (None, None)) -> None:

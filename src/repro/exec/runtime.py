@@ -17,6 +17,7 @@ import os
 from contextlib import contextmanager
 from typing import Optional
 
+from ..obs.telemetry import ProgressListener
 from .cache import ResultCache
 from .executor import SweepExecutor
 
@@ -28,6 +29,8 @@ _UNSET = object()
 _default_jobs: Optional[int] = None
 _default_cache: object = _UNSET
 _default_keep_going: bool = False
+_default_progress: Optional[ProgressListener] = None
+_default_trace_dir: Optional[str] = None
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -67,12 +70,37 @@ def get_default_keep_going() -> bool:
     return _default_keep_going
 
 
+def set_default_progress(progress: Optional[ProgressListener]) -> None:
+    """Install the default sweep progress listener (``--progress``)."""
+    global _default_progress
+    _default_progress = progress
+
+
+def get_default_progress() -> Optional[ProgressListener]:
+    """The installed progress listener, or ``None`` (silent sweeps)."""
+    return _default_progress
+
+
+def set_default_trace_dir(trace_dir: Optional[str]) -> None:
+    """Install the per-job trace directory for parallel ``--trace``
+    sweeps (workers dump per-job traces there; the CLI merges them)."""
+    global _default_trace_dir
+    _default_trace_dir = trace_dir
+
+
+def get_default_trace_dir() -> Optional[str]:
+    """The installed per-job trace directory, or ``None`` (no tracing)."""
+    return _default_trace_dir
+
+
 def default_executor() -> SweepExecutor:
     """The executor an experiment uses when not handed one explicitly."""
     return SweepExecutor(
         jobs=get_default_jobs(),
         cache=get_default_cache(),
         keep_going=get_default_keep_going(),
+        progress=get_default_progress(),
+        trace_dir=get_default_trace_dir(),
     )
 
 
@@ -81,14 +109,31 @@ def sweep_defaults(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     keep_going: bool = False,
+    progress: Optional[ProgressListener] = None,
+    trace_dir: Optional[str] = None,
 ):
     """Scope executor defaults to a ``with`` block (tests, notebooks)."""
     global _default_jobs, _default_cache, _default_keep_going
-    prev = (_default_jobs, _default_cache, _default_keep_going)
+    global _default_progress, _default_trace_dir
+    prev = (
+        _default_jobs,
+        _default_cache,
+        _default_keep_going,
+        _default_progress,
+        _default_trace_dir,
+    )
     _default_jobs = jobs
     _default_cache = cache
     _default_keep_going = keep_going
+    _default_progress = progress
+    _default_trace_dir = trace_dir
     try:
         yield
     finally:
-        _default_jobs, _default_cache, _default_keep_going = prev
+        (
+            _default_jobs,
+            _default_cache,
+            _default_keep_going,
+            _default_progress,
+            _default_trace_dir,
+        ) = prev

@@ -12,6 +12,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..config import SystemConfig
 from ..exec.executor import SweepExecutor
 from ..exec.jobs import JobFailure, SweepJob
+from ..obs.telemetry import JobTelemetry, flight_summary
 from ..system.configs import ArchSpec, get_spec
 from ..system.metrics import RunResult
 from ..system.spec import SystemSpec, WorkloadRef
@@ -33,6 +34,10 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     #: Failed sweep points (keep-going mode); empty on a clean run.
     failures: List[JobFailure] = field(default_factory=list)
+    #: Flight-recorder records, one per sweep job in submission order
+    #: (see :mod:`repro.obs.telemetry`); observational only — never part
+    #: of rows, exports, or cache identity.
+    telemetry: List[JobTelemetry] = field(default_factory=list)
 
     def add(self, **fields: object) -> None:
         self.rows.append(fields)
@@ -44,6 +49,11 @@ class ExperimentResult:
     def complete(self) -> bool:
         """True when every sweep point produced a row (no failures)."""
         return not self.failures
+
+    def flight_summary(self, cache_stats=None) -> Dict[str, object]:
+        """Aggregate this experiment's per-job telemetry (see
+        :func:`repro.obs.telemetry.flight_summary`)."""
+        return flight_summary(self.telemetry, self.failures, cache_stats)
 
     # ------------------------------------------------------------------
     def columns(self) -> List[str]:
@@ -177,6 +187,8 @@ def run_jobs(
     """
     results: List[Optional[RunResult]] = []
     for job, outcome in zip(jobs, executor.map_outcomes(jobs)):
+        if outcome.telemetry is not None:
+            result.telemetry.append(outcome.telemetry)
         if outcome.ok:
             results.append(outcome.result)
         else:

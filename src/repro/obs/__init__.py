@@ -27,6 +27,18 @@ from .profiler import EventLoopProfiler
 from .registry import Counter, Gauge, Histogram, MetricRegistry
 from .runtime import default_observability, get_default, set_default
 from .sampler import Sampler
+from .telemetry import (
+    JobTelemetry,
+    JsonlProgress,
+    ProgressListener,
+    TtyProgress,
+    flight_summary,
+    make_progress,
+    merge_trace_dir,
+    merge_traces,
+    write_runlog,
+    write_worker_trace,
+)
 from .tracer import ChromeTracer
 
 __all__ = [
@@ -36,12 +48,22 @@ __all__ = [
     "EventLoopProfiler",
     "Gauge",
     "Histogram",
+    "JobTelemetry",
+    "JsonlProgress",
     "MetricRegistry",
     "Observability",
+    "ProgressListener",
     "Sampler",
+    "TtyProgress",
     "default_observability",
+    "flight_summary",
     "get_default",
     "install_default_probes",
+    "make_progress",
+    "merge_trace_dir",
+    "merge_traces",
     "register_system_metrics",
     "set_default",
+    "write_runlog",
+    "write_worker_trace",
 ]

@@ -27,6 +27,7 @@ class Simulator:
         self._queue: list = []
         self._seq: int = 0
         self._events_executed: int = 0
+        self._peak_pending: int = 0
         self._running = False
         #: Optional :class:`~repro.obs.tracer.ChromeTracer`.  Components
         #: reach it as ``sim.tracer`` and guard every emission with a
@@ -46,8 +47,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: {time_ps} < now={self.now}"
             )
-        _heappush(self._queue, (time_ps, self._seq, fn))
+        queue = self._queue
+        _heappush(queue, (time_ps, self._seq, fn))
         self._seq += 1
+        # Peak-pending high-water mark: the heap only grows here, so one
+        # len/compare per schedule is the entire telemetry cost.
+        if len(queue) > self._peak_pending:
+            self._peak_pending = len(queue)
 
     def after(self, delay_ps: int, fn: Callback) -> None:
         """Schedule ``fn`` to run ``delay_ps`` from now."""
@@ -126,6 +132,11 @@ class Simulator:
     @property
     def events_executed(self) -> int:
         return self._events_executed
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the pending-event heap over the sim's life."""
+        return self._peak_pending
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next pending event, or None if idle."""

@@ -42,6 +42,9 @@ class RunResult:
     energy: Optional[EnergyBreakdown] = None
 
     events_executed: int = 0
+    #: High-water mark of the engine's pending-event heap (telemetry
+    #: only; never part of a reported row or a cache identity).
+    peak_pending_events: int = 0
 
     @property
     def memcpy_ps(self) -> int:

@@ -182,6 +182,7 @@ def _collect(
     result.kernel_ps = vgpu.total_kernel_ps()
     result.kernel_breakdown_ps = [l.runtime_ps for l in vgpu.launches]
     result.events_executed = sim.events_executed
+    result.peak_pending_events = sim.peak_pending_events
 
     gpus = vgpu.gpus
     l1_hits = sum(s.l1.stats.hits for g in gpus for s in g.sms)

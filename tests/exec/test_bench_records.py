@@ -21,6 +21,16 @@ def test_bench_record_defaults_and_extra():
     record = bench_record("x", 0.5, extra={"note": "hi"})
     assert record["jobs"] == 1 and record["rows"] is None
     assert record["note"] == "hi"
+    # No events given -> no throughput fields at all (stable schema).
+    assert "events" not in record and "events_per_sec" not in record
+
+
+def test_bench_record_events_per_sec():
+    record = bench_record("x", 2.0, events=1000)
+    assert record["events"] == 1000
+    assert record["events_per_sec"] == 500.0
+    degenerate = bench_record("x", 0.0, events=1000)
+    assert degenerate["events_per_sec"] == 0.0
 
 
 def test_write_bench(tmp_path):
@@ -89,6 +99,56 @@ class TestDiffBench:
         write_bench("fig14", 10.5, directory=str(tmp_path / "fresh"), jobs=4, rows=10)
         diff = diff_bench(str(tmp_path / "fresh"), str(tmp_path / "base"))
         assert any("jobs differ" in n for n in diff["entries"][0]["notes"])
+
+    @staticmethod
+    def _throughput_dirs(tmp_path, base_events, fresh_events, wall=10.0):
+        from repro.exec import write_bench
+
+        write_bench("fig14", wall, directory=str(tmp_path / "base"),
+                    jobs=1, rows=10, events=base_events)
+        write_bench("fig14", wall, directory=str(tmp_path / "fresh"),
+                    jobs=1, rows=10, events=fresh_events)
+        return str(tmp_path / "fresh"), str(tmp_path / "base")
+
+    def test_throughput_regression_flagged(self, tmp_path):
+        from repro.exec import diff_bench
+
+        # Same wall clock, half the simulated events: invisible to the
+        # wall-clock gate, caught by the events/sec gate.
+        fresh, base = self._throughput_dirs(tmp_path, 100_000, 50_000)
+        diff = diff_bench(fresh, base, threshold=0.25)
+        assert diff["regressions"] == ["fig14"]
+        entry = diff["entries"][0]
+        assert entry["status"] == "regression-throughput"
+        assert entry["eps_ratio"] == 0.5
+        assert any("throughput dropped" in n for n in entry["notes"])
+
+    def test_throughput_within_threshold_is_ok(self, tmp_path):
+        from repro.exec import diff_bench
+
+        fresh, base = self._throughput_dirs(tmp_path, 100_000, 90_000)
+        diff = diff_bench(fresh, base, threshold=0.25)
+        assert diff["regressions"] == []
+        assert diff["entries"][0]["status"] == "ok"
+        assert diff["entries"][0]["eps_ratio"] == 0.9
+
+    def test_throughput_gate_skipped_without_events(self, tmp_path):
+        from repro.exec import diff_bench
+
+        # Old baselines without events fields must keep diffing cleanly.
+        fresh, base = self._dirs(tmp_path, {"fig14": 10.0}, {"fig14": 10.0})
+        diff = diff_bench(fresh, base, threshold=0.25)
+        assert diff["regressions"] == []
+        assert "eps_ratio" not in diff["entries"][0]
+
+    def test_format_diff_shows_throughput_column(self, tmp_path):
+        from repro.exec import diff_bench, format_diff
+
+        fresh, base = self._throughput_dirs(tmp_path, 100_000, 50_000)
+        report = format_diff(diff_bench(fresh, base))
+        assert "ev/s ratio" in report
+        assert "regression-throughput" in report
+        assert "REGRESSION" in report
 
     def test_cli_exit_codes_and_report(self, tmp_path, capsys):
         from repro.exec.bench import main

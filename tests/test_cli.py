@@ -129,6 +129,8 @@ class TestPerfFlags:
         yield
         exec_runtime.set_default_jobs(None)
         exec_runtime.set_default_cache(None)
+        exec_runtime.set_default_progress(None)
+        exec_runtime.set_default_trace_dir(None)
 
     def test_jobs_flag_installs_default(self, capsys):
         from repro.exec import runtime as exec_runtime
@@ -162,13 +164,68 @@ class TestPerfFlags:
         record = json.loads((tmp_path / "BENCH_fig12.json").read_text())
         assert record["bench"] == "fig12" and record["wall_clock_s"] >= 0
 
-    def test_obs_flags_force_serial(self, tmp_path, capsys):
+    def test_trace_stays_parallel_and_merges(self, tmp_path, capsys):
+        import json
+
         from repro.exec import runtime as exec_runtime
 
         trace = tmp_path / "t.json"
         assert main(["fig12", "--jobs", "2", "--trace", str(trace)]) == 0
+        # A trace-only sweep no longer forces serial execution: workers
+        # record per-job traces and the parent merges them.
+        assert exec_runtime.get_default_jobs() == 2
+        assert "merged" in capsys.readouterr().out
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_in_process_obs_flags_force_serial(self, capsys):
+        from repro.exec import runtime as exec_runtime
+
+        assert main(["fig12", "--jobs", "2", "--timeseries"]) == 0
         assert "running serially" in capsys.readouterr().err
         assert exec_runtime.get_default_jobs() == 1
+
+    def test_progress_jsonl_streams_and_writes_runlog(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig12", "--progress", "jsonl"]) == 0
+        # fig12 is analytic (no sweep jobs), but --progress jsonl still
+        # implies a flight-recorder artifact with a summary record.
+        runlog = tmp_path / "RUNLOG_fig12.jsonl"
+        records = [json.loads(line) for line in runlog.read_text().splitlines()]
+        assert records[-1]["record"] == "summary"
+        assert "runlog ->" in capsys.readouterr().out
+
+    def test_runlog_flag_and_flight_line(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.exec import JobTelemetry
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.common import ExperimentResult
+
+        def fake():
+            result = ExperimentResult("figx", "synthetic")
+            result.add(point="p0", value=1)
+            result.telemetry.append(
+                JobTelemetry("p0", source="run", wall_s=0.5, events=1000,
+                             peak_pending=10, worker_pid=42)
+            )
+            return result
+
+        monkeypatch.setitem(EXPERIMENTS, "figx", fake)
+        assert main(["figx", "--runlog", str(tmp_path)]) == 0
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "RUNLOG_figx.jsonl").read_text().splitlines()
+        ]
+        assert [r["record"] for r in records] == ["job", "summary"]
+        assert records[0]["events_per_sec"] == 2000.0
+        summary = records[-1]
+        assert summary["ran"] == 1 and summary["events"] == 1000
+        out = capsys.readouterr().out
+        assert "flight: 1 ran" in out and "runlog ->" in out
 
 
 class TestRobustnessFlags:
