@@ -72,6 +72,7 @@ import tempfile
 import time
 from typing import List, Optional
 
+from .config import NETWORK_MODELS
 from .errors import ConfigError, SimulationError, SweepError
 from .exec import ResultCache, jobs_from_env, process_cache_stats, write_bench
 from .exec import runtime as exec_runtime
@@ -136,7 +137,29 @@ def _positive_jobs(text: str) -> int:
     return value
 
 
+def _fidelity(text: str) -> str:
+    """Validate ``--fidelity`` with the same message the config raises."""
+    if text not in NETWORK_MODELS:
+        raise argparse.ArgumentTypeError(
+            f"unknown network model {text!r}; valid: {sorted(NETWORK_MODELS)}"
+        )
+    return text
+
+
+def _add_fidelity_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fidelity",
+        type=_fidelity,
+        default=None,
+        metavar="TIER",
+        help="fidelity tier to run at: packet (event-driven, the default), "
+        "flit (wormhole/VC validation engine), or analytic (calibrated "
+        "capacity model, milliseconds per row; see docs/performance.md)",
+    )
+
+
 def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    _add_fidelity_flag(parser)
     parser.add_argument(
         "--jobs",
         type=_positive_jobs,
@@ -238,6 +261,7 @@ def _install_perf_defaults(args, obs: Optional[Observability] = None):
             )
             jobs = 1
     exec_runtime.set_default_jobs(jobs)
+    exec_runtime.set_default_fidelity(getattr(args, "fidelity", None))
     exec_runtime.set_default_keep_going(getattr(args, "keep_going", False))
     exec_runtime.set_default_trace_dir(trace_dir)
     exec_runtime.set_default_progress(
@@ -338,8 +362,12 @@ def _run_experiment(
     events = sum(t.events for t in result.telemetry if t.source == "run")
     if result.telemetry:
         s = result.flight_summary()
+        analytic_note = (
+            f"{s['analytic']} analytic, " if s.get("analytic") else ""
+        )
         print(
-            f"[flight: {s['ran']} ran, {s['cached']} cached, "
+            f"[flight: {s['ran']} ran, {analytic_note}"
+            f"{s['cached']} cached, "
             f"{s['failed']} failed, {s['events']} events, "
             f"{s['events_per_sec']:.0f} ev/s, "
             f"peak pending {s['peak_pending']}]"
@@ -357,13 +385,21 @@ def _run_experiment(
         )
         print(f"[runlog -> {path}]")
     if bench_json:
+        # Non-packet tiers get their own record name (fig14_analytic) so
+        # the diff gate never compares tiers like-for-like; the fidelity
+        # field backstops that for hand-renamed files.
+        fidelity = exec_runtime.get_default_fidelity() or "packet"
+        bench_name = _BENCH_ALIAS.get(name, name)
+        if fidelity != "packet":
+            bench_name = f"{bench_name}_{fidelity}"
         path = write_bench(
-            _BENCH_ALIAS.get(name, name),
+            bench_name,
             wall,
             directory=bench_json,
             jobs=jobs,
             rows=len(result.rows),
             events=events or None,
+            extra={"fidelity": fidelity},
         )
         print(f"[bench record -> {path}]")
     if result.failures:
@@ -392,6 +428,13 @@ def _run_one(args) -> int:
     else:
         print("error: give a workload or --spec FILE.json", file=sys.stderr)
         return 2
+    if args.fidelity and spec.cfg.network_model != args.fidelity:
+        spec = SystemSpec.make(
+            spec.arch,
+            spec.workload,
+            spec.cfg.scaled(network_model=args.fidelity),
+            **dict(spec.run_kwargs),
+        )
     if args.dump_spec:
         spec.save(args.dump_spec)
         print(f"[spec {spec.label} -> {args.dump_spec}]")
@@ -412,6 +455,13 @@ def _run_one(args) -> int:
     for key, value in result.as_row().items():
         print(f"{key:20s} {value}")
     if args.report:
+        if system is None:
+            print(
+                "error: --report needs an event-engine run; the analytic "
+                "tier builds no system (use --fidelity packet or flit)",
+                file=sys.stderr,
+            )
+            return 2
         with open(args.report, "w") as handle:
             json.dump(system_report(system), handle, indent=2)
         print(f"[report -> {args.report}]")
@@ -472,6 +522,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the full system_report() (includes timeseries when "
         "--timeseries is on)",
     )
+    _add_fidelity_flag(p_run)
     _add_robustness_flags(p_run)
     _add_obs_flags(p_run)
 

@@ -15,6 +15,12 @@ from typing import Optional
 from .errors import ConfigError
 from .units import GB, KB, MB
 
+#: The fidelity tiers a system can run at: "packet" (event-driven packet
+#: network, the fast default), "flit" (wormhole + virtual channels +
+#: credits; validation use), and "analytic" (calibrated capacity model,
+#: milliseconds per sweep row; see :mod:`repro.analytic`).
+NETWORK_MODELS = ("analytic", "flit", "packet")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -240,8 +246,10 @@ class SystemConfig:
     #: Granularity of interleaving across a cluster's local HMCs
     #: ("line" = the paper's mapping; "page" = the Section V-A ablation).
     intra_cluster_interleave: str = "line"
-    #: Network engine: "packet" (fast, default) or "flit" (wormhole +
-    #: virtual channels + credits, several times slower; validation use).
+    #: Fidelity tier: one of :data:`NETWORK_MODELS` — "packet" (fast,
+    #: default), "flit" (wormhole + virtual channels + credits, several
+    #: times slower; validation use), or "analytic" (calibrated capacity
+    #: model; no event engine at all).
     network_model: str = "packet"
     #: Seed for page placement and any stochastic tie-breaking.
     seed: int = 1
@@ -265,6 +273,11 @@ class SystemConfig:
             raise ConfigError("num_gpus must be >= 1")
         if self.page_bytes % self.gpu.l2.line_bytes:
             raise ConfigError("page size must be a multiple of the line size")
+        if self.network_model not in NETWORK_MODELS:
+            raise ConfigError(
+                f"unknown network model {self.network_model!r}; "
+                f"valid: {sorted(NETWORK_MODELS)}"
+            )
 
     @property
     def num_gpu_hmcs(self) -> int:

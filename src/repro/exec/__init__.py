@@ -53,11 +53,13 @@ from .runtime import (
     CACHE_DIR_ENV,
     default_executor,
     get_default_cache,
+    get_default_fidelity,
     get_default_jobs,
     get_default_keep_going,
     get_default_progress,
     get_default_trace_dir,
     set_default_cache,
+    set_default_fidelity,
     set_default_jobs,
     set_default_keep_going,
     set_default_progress,
@@ -86,6 +88,7 @@ __all__ = [
     "default_executor",
     "execute_job",
     "get_default_cache",
+    "get_default_fidelity",
     "get_default_jobs",
     "get_default_keep_going",
     "get_default_progress",
@@ -95,6 +98,7 @@ __all__ = [
     "jobs_from_env",
     "process_cache_stats",
     "set_default_cache",
+    "set_default_fidelity",
     "set_default_jobs",
     "set_default_keep_going",
     "set_default_progress",

@@ -1,8 +1,35 @@
-"""``python -m repro.exec`` — diff fresh BENCH_*.json records against
-committed baselines (see :func:`repro.exec.bench.main`)."""
+"""``python -m repro.exec`` — the exec layer's operational entry points.
+
+Subcommands:
+
+- ``diff``  — compare fresh ``BENCH_*.json`` records against committed
+  baselines (:mod:`repro.exec.bench`);
+- ``xtier`` — cross-tier validation of the analytic fidelity tier
+  against the packet model (:mod:`repro.exec.xtier`).
+
+Bare flags (``python -m repro.exec --fresh DIR ...``) keep dispatching
+to the bench diff, the original behavior, so existing CI invocations
+and scripts continue to work unchanged.
+"""
 
 import sys
+from typing import List, Optional
 
-from .bench import main
 
-sys.exit(main())
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "xtier":
+        from .xtier import main as xtier_main
+
+        return xtier_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
+    from .bench import main as bench_main
+
+    return bench_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,6 +118,21 @@ def diff_bench(
             entries.append({"bench": brec["bench"], "status": "missing-fresh",
                             "baseline_s": brec["wall_clock_s"]})
             continue
+        if frec.get("fidelity", "packet") != brec.get("fidelity", "packet"):
+            # Different fidelity tiers are different benchmarks: an
+            # analytic sweep "regressing" against a packet baseline (or a
+            # packet sweep "improving" on an analytic one) is meaningless,
+            # so mismatched records are reported but never like-for-like.
+            entries.append({
+                "bench": brec["bench"], "status": "fidelity-mismatch",
+                "baseline_s": brec["wall_clock_s"],
+                "fresh_s": frec["wall_clock_s"],
+                "notes": [
+                    f"fidelity differs: {frec.get('fidelity', 'packet')} "
+                    f"vs baseline {brec.get('fidelity', 'packet')}"
+                ],
+            })
+            continue
         ratio = frec["wall_clock_s"] / brec["wall_clock_s"] if brec["wall_clock_s"] else 0.0
         status = "ok"
         if ratio > 1.0 + threshold:

@@ -61,12 +61,22 @@ def code_version() -> str:
 
 def job_fingerprint(job: SweepJob) -> Dict[str, Any]:
     """The full identity of a job, as a JSON-serializable dict: the
-    canonical system spec plus this cache's schema and the code digest."""
-    return {
+    canonical system spec plus this cache's schema and the code digest.
+
+    Analytic-tier jobs additionally carry the calibration artifact's
+    content digest: refitting coefficients changes their results without
+    touching any source file, so the code digest alone cannot invalidate
+    them."""
+    fingerprint: Dict[str, Any] = {
         "schema": CACHE_SCHEMA,
         "code": code_version(),
         "system": job.system.to_dict(),
     }
+    if job.cfg.network_model == "analytic":
+        from ..analytic.calibrate import calibration_digest
+
+        fingerprint["calibration"] = calibration_digest()
+    return fingerprint
 
 
 def job_key(job: SweepJob) -> str:

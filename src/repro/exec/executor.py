@@ -157,10 +157,21 @@ class SweepExecutor:
                     {"event": "submitted", "label": job.label, "index": i}
                 )
 
-        if self.jobs > 1 and len(pending) > 1:
-            self._map_pool(jobs, pending, outcomes)
+        # Analytic-tier points cost milliseconds; shipping them to a pool
+        # worker would pay more in pickling and scheduling than the model
+        # itself costs, so they always run inline in this process.
+        inline = [
+            i for i in pending if jobs[i].cfg.network_model == "analytic"
+        ]
+        pooled = [
+            i for i in pending if jobs[i].cfg.network_model != "analytic"
+        ]
+        if inline:
+            self._map_serial(jobs, inline, outcomes)
+        if self.jobs > 1 and len(pooled) > 1:
+            self._map_pool(jobs, pooled, outcomes)
         else:
-            self._map_serial(jobs, pending, outcomes)
+            self._map_serial(jobs, pooled, outcomes)
 
         # Completeness assertion: a dropped future must never leak a None
         # past the return type (it used to hide behind a `type: ignore`).

@@ -192,11 +192,12 @@ def execute_job(job: SweepJob) -> JobOutcome:
     wall = time.perf_counter() - start
     if obs is not None and obs.tracer is not None:
         write_worker_trace(obs.tracer, job.trace_dir, job.label)
+    source = "analytic" if job.cfg.network_model == "analytic" else "run"
     return JobOutcome(
         result=result,
         telemetry=JobTelemetry(
             label=job.label,
-            source="run",
+            source=source,
             wall_s=wall,
             events=result.events_executed,
             peak_pending=result.peak_pending_events,

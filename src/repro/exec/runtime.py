@@ -17,6 +17,8 @@ import os
 from contextlib import contextmanager
 from typing import Optional
 
+from ..config import NETWORK_MODELS
+from ..errors import ConfigError
 from ..obs.telemetry import ProgressListener
 from .cache import ResultCache
 from .executor import SweepExecutor
@@ -31,6 +33,7 @@ _default_cache: object = _UNSET
 _default_keep_going: bool = False
 _default_progress: Optional[ProgressListener] = None
 _default_trace_dir: Optional[str] = None
+_default_fidelity: Optional[str] = None
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -93,6 +96,29 @@ def get_default_trace_dir() -> Optional[str]:
     return _default_trace_dir
 
 
+def set_default_fidelity(fidelity: Optional[str]) -> None:
+    """Install the default fidelity tier (the CLI's ``--fidelity``).
+
+    ``None`` clears the override: every sweep point keeps the
+    ``network_model`` its experiment's config asked for (normally
+    ``"packet"``).  A set tier is applied by
+    :func:`repro.experiments.common.job_for` to every job built while it
+    is installed — it *is* part of the spec identity, so analytic and
+    packet runs of the same point get distinct cache keys.
+    """
+    global _default_fidelity
+    if fidelity is not None and fidelity not in NETWORK_MODELS:
+        raise ConfigError(
+            f"unknown network model {fidelity!r}; valid: {sorted(NETWORK_MODELS)}"
+        )
+    _default_fidelity = fidelity
+
+
+def get_default_fidelity() -> Optional[str]:
+    """The installed fidelity tier, or ``None`` (per-experiment config)."""
+    return _default_fidelity
+
+
 def default_executor() -> SweepExecutor:
     """The executor an experiment uses when not handed one explicitly."""
     return SweepExecutor(
@@ -111,22 +137,25 @@ def sweep_defaults(
     keep_going: bool = False,
     progress: Optional[ProgressListener] = None,
     trace_dir: Optional[str] = None,
+    fidelity: Optional[str] = None,
 ):
     """Scope executor defaults to a ``with`` block (tests, notebooks)."""
     global _default_jobs, _default_cache, _default_keep_going
-    global _default_progress, _default_trace_dir
+    global _default_progress, _default_trace_dir, _default_fidelity
     prev = (
         _default_jobs,
         _default_cache,
         _default_keep_going,
         _default_progress,
         _default_trace_dir,
+        _default_fidelity,
     )
     _default_jobs = jobs
     _default_cache = cache
     _default_keep_going = keep_going
     _default_progress = progress
     _default_trace_dir = trace_dir
+    set_default_fidelity(fidelity)
     try:
         yield
     finally:
@@ -136,4 +165,5 @@ def sweep_defaults(
             _default_keep_going,
             _default_progress,
             _default_trace_dir,
+            _default_fidelity,
         ) = prev

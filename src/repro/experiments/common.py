@@ -12,6 +12,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..config import SystemConfig
 from ..exec.executor import SweepExecutor
 from ..exec.jobs import JobFailure, SweepJob
+from ..exec.runtime import get_default_fidelity
 from ..obs.telemetry import JobTelemetry, flight_summary
 from ..system.configs import ArchSpec, get_spec
 from ..system.metrics import RunResult
@@ -159,11 +160,24 @@ def job_for(
     :class:`ArchSpec`; ``workload`` a Table II name (wrapped in a
     :class:`WorkloadRef` at ``scale``) or an explicit ref.  Keyword
     arguments become the job's ``run_kwargs``.
+
+    An installed fidelity default (the CLI's ``--fidelity`` /
+    ``sweep_defaults(fidelity=...)``) overrides the config's
+    ``network_model`` here — the single choke point every experiment's
+    jobs flow through — so a whole figure can be re-run at another tier
+    without the runner knowing.
     """
     if isinstance(arch, str):
         arch = get_spec(arch)
     if isinstance(workload, str):
         workload = WorkloadRef(workload, scale)
+    fidelity = get_default_fidelity()
+    if fidelity is not None:
+        base = cfg if cfg is not None else SystemConfig()
+        if base.network_model != fidelity:
+            cfg = base.scaled(network_model=fidelity)
+        else:
+            cfg = base
     return SweepJob(
         system=SystemSpec.make(arch, workload, cfg, **run_kwargs), tag=tag
     )

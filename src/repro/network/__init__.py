@@ -15,6 +15,7 @@ from .flitnet import FlitNetwork
 from .metrics import TopologyMetrics, bisection_bandwidth_gbps, topology_metrics
 from .network import MemoryNetwork, NetworkStats
 from .traffic import PATTERNS, get_pattern
+from .trafficmatrix import Flow, FlowRouter, TrafficMatrix, pattern_matrix
 from .packet import (
     MessageClass,
     Packet,
@@ -38,6 +39,10 @@ __all__ = [
     "NetworkStats",
     "PATTERNS",
     "get_pattern",
+    "Flow",
+    "FlowRouter",
+    "TrafficMatrix",
+    "pattern_matrix",
     "MessageClass",
     "Packet",
     "PacketKind",

@@ -11,6 +11,12 @@ standard ways:
 - ``neighbor``       — dst = src + 1 (maximal locality);
 - ``hotspot``        — a fraction of traffic targets one endpoint, the rest
   uniform (models CG.S-like imbalance).
+
+Patterns are plain ``(src, n, rng) -> dst`` functions; to materialize one
+as offered load, :func:`repro.network.trafficmatrix.pattern_matrix` turns
+any pattern into a :class:`~repro.network.trafficmatrix.TrafficMatrix`,
+the shared representation consumed by both the latency-load harness and
+the analytic tier.
 """
 
 from __future__ import annotations

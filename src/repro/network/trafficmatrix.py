@@ -1,0 +1,289 @@
+"""The shared traffic-matrix abstraction (ROADMAP: analytic tier).
+
+A :class:`TrafficMatrix` is the fabric-independent description of offered
+load: how many requests, and how many request/response bytes, each source
+terminal sends toward each destination (an HMC router for memory requests,
+or a terminal for forwarded transfers).  Three consumers share it:
+
+- the **analytic tier** (:mod:`repro.analytic`) derives one from a
+  workload + :class:`~repro.system.spec.SystemSpec` without running the
+  event engine and routes it over the topology to get per-channel loads;
+- the **synthetic patterns** of :mod:`repro.network.traffic` produce one
+  for latency-load characterization (``ext-latency-load``);
+- the Fig. 10 style ``[terminal][router]`` byte matrix is one view of it
+  (:meth:`TrafficMatrix.bytes_matrix`), so measured and predicted traffic
+  can be compared in the same format.
+
+:class:`FlowRouter` turns a matrix into per-channel byte loads by routing
+every flow minimally over a :class:`~repro.network.topology.Topology`,
+splitting each flow evenly across the minimal injection attachments and
+minimal next hops — the closed-form analogue of the packet engine's
+adaptive tie-breaking, and the load model behind the analytic tier's
+M/D/1 channel estimates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from .channel import Channel
+from .topology import Topology
+
+#: A flow destination: an HMC router id (memory request) or a terminal
+#: name (forwarded transfer / response sink).
+Destination = Union[int, str]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """Aggregate traffic from one source terminal to one destination."""
+
+    src: str
+    dst: Destination
+    requests: float
+    request_bytes: float
+    response_bytes: float
+
+
+class TrafficMatrix:
+    """Per source->destination request/byte rates over ``num_routers``."""
+
+    def __init__(self, num_routers: int) -> None:
+        self.num_routers = num_routers
+        # (src, dst) -> [requests, request_bytes, response_bytes]
+        self._flows: Dict[Tuple[str, Destination], List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        src: str,
+        dst: Destination,
+        requests: float = 1.0,
+        request_bytes: float = 0.0,
+        response_bytes: float = 0.0,
+    ) -> None:
+        """Accumulate traffic onto the (src, dst) flow."""
+        if isinstance(dst, int) and not 0 <= dst < self.num_routers:
+            raise ValueError(f"destination router {dst} outside [0, {self.num_routers})")
+        cell = self._flows.get((src, dst))
+        if cell is None:
+            self._flows[(src, dst)] = [requests, request_bytes, response_bytes]
+        else:
+            cell[0] += requests
+            cell[1] += request_bytes
+            cell[2] += response_bytes
+
+    def flows(self) -> List[Flow]:
+        """All flows, deterministically ordered."""
+        return [
+            Flow(src, dst, *cell)
+            for (src, dst), cell in sorted(
+                self._flows.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+            )
+        ]
+
+    def sources(self) -> List[str]:
+        return sorted({src for src, _ in self._flows})
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> float:
+        return sum(cell[0] for cell in self._flows.values())
+
+    @property
+    def total_request_bytes(self) -> float:
+        return sum(cell[1] for cell in self._flows.values())
+
+    @property
+    def total_response_bytes(self) -> float:
+        return sum(cell[2] for cell in self._flows.values())
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every flow scaled by ``factor``."""
+        out = TrafficMatrix(self.num_routers)
+        for (src, dst), cell in self._flows.items():
+            out.add(src, dst, cell[0] * factor, cell[1] * factor, cell[2] * factor)
+        return out
+
+    def bytes_matrix(self, terminals: Iterable[str]) -> List[List[int]]:
+        """Request bytes from each terminal to each router, in the Fig. 10
+        format of :meth:`repro.network.network.MemoryNetwork.traffic_matrix`
+        (router-destined requests only, like the measured matrix)."""
+        return [
+            [
+                int(round(self._flows.get((t, r), (0.0, 0.0))[1]))
+                for r in range(self.num_routers)
+            ]
+            for t in terminals
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Synthetic-pattern producer
+# ---------------------------------------------------------------------------
+def pattern_matrix(
+    pattern: Union[str, Callable[[int, int, random.Random], int]],
+    num_routers: int,
+    sources: Iterable[str],
+    packets_per_source: int = 1,
+    request_bytes: int = 144,
+    response_bytes: int = 0,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> TrafficMatrix:
+    """Build a :class:`TrafficMatrix` from a synthetic traffic pattern.
+
+    ``pattern`` is a name from :data:`repro.network.traffic.PATTERNS` or a
+    pattern function; source index ``s * packets_per_source + i`` follows
+    the latency-load harness convention so both produce the same flows.
+    """
+    from .traffic import get_pattern
+
+    fn = get_pattern(pattern) if isinstance(pattern, str) else pattern
+    rng = rng if rng is not None else random.Random(seed)
+    matrix = TrafficMatrix(num_routers)
+    for s, terminal in enumerate(sources):
+        for i in range(packets_per_source):
+            dst = fn(s * packets_per_source + i, num_routers, rng) % num_routers
+            matrix.add(terminal, dst, 1.0, float(request_bytes), float(response_bytes))
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Minimal-path flow routing
+# ---------------------------------------------------------------------------
+class FlowRouter:
+    """Routes a :class:`TrafficMatrix` over a topology in closed form.
+
+    Every flow is spread evenly across its minimal injection attachments
+    and, recursively, across the minimal next hops at every router — the
+    expected-value analogue of the packet engine's tie-breaking.  Path
+    spreads are memoized per (router, router) pair, so routing a matrix is
+    linear in flows once the topology's distances are computed.
+    """
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._path_memo: Dict[Tuple[int, int], Dict[Channel, float]] = {}
+        self._unit_memo: Dict[
+            Tuple[str, Union[int, str]],
+            Tuple[Dict[Channel, float], Dict[Channel, float]],
+        ] = {}
+
+    # -- attachment selection -------------------------------------------
+    def injection_attachments(self, terminal: str, dst_router: int):
+        """The minimal-distance attachments ``terminal`` would inject at."""
+        atts = self.topo.attachments(terminal)
+        best = min(self.topo.distance(a.router, dst_router) for a in atts)
+        return [a for a in atts if self.topo.distance(a.router, dst_router) == best]
+
+    def ejection_attachments(self, router: int, terminal: str):
+        """The minimal-distance attachments a packet at ``router`` would
+        eject through to reach ``terminal``."""
+        atts = self.topo.attachments(terminal)
+        best = min(self.topo.distance(router, a.router) for a in atts)
+        return [a for a in atts if self.topo.distance(router, a.router) == best]
+
+    def request_distance(self, terminal: str, dst_router: int) -> int:
+        """Router hops from the chosen injection point to ``dst_router``."""
+        atts = self.topo.attachments(terminal)
+        return min(self.topo.distance(a.router, dst_router) for a in atts)
+
+    def response_distance(self, src_router: int, terminal: str) -> int:
+        """Router hops from ``src_router`` to the chosen ejection point."""
+        atts = self.topo.attachments(terminal)
+        return min(self.topo.distance(src_router, a.router) for a in atts)
+
+    def destination_router(self, src: str, dst_terminal: str) -> int:
+        """The router a terminal-destined flow heads for (the nearest
+        attachment of ``dst_terminal``, as the packet engine estimates)."""
+        src_atts = self.topo.attachments(src)
+        return min(
+            (a.router for a in self.topo.attachments(dst_terminal)),
+            key=lambda r: min(self.topo.distance(s.router, r) for s in src_atts),
+        )
+
+    # -- path spreading --------------------------------------------------
+    def path_channels(self, a: int, b: int) -> Dict[Channel, float]:
+        """Expected traversals of each channel on minimal a->b paths, with
+        even splits at every branch (total fractions sum to distance)."""
+        if a == b:
+            return {}
+        memo = self._path_memo
+        cached = memo.get((a, b))
+        if cached is not None:
+            return cached
+        spread: Dict[Channel, float] = {}
+        hops = self.topo.minimal_next_hops(a, b)
+        frac = 1.0 / len(hops)
+        for nbr, ch in hops:
+            spread[ch] = spread.get(ch, 0.0) + frac
+            for ch2, f2 in self.path_channels(nbr, b).items():
+                spread[ch2] = spread.get(ch2, 0.0) + frac * f2
+        memo[(a, b)] = spread
+        return spread
+
+    # -- load accumulation ----------------------------------------------
+    def flow_unit_loads(
+        self, src: str, dst: Union[int, str]
+    ) -> Tuple[Dict[Channel, float], Dict[Channel, float]]:
+        """Per-byte channel traversals of one ``(src, dst)`` flow,
+        memoized: the request spread (inject, minimal paths, far-end
+        eject for terminal destinations) and the response spread (back
+        from the destination router to the source's ejection points).
+        A matrix's byte counts scale these without re-routing."""
+        key = (src, dst)
+        cached = self._unit_memo.get(key)
+        if cached is not None:
+            return cached
+        request: Dict[Channel, float] = {}
+        response: Dict[Channel, float] = {}
+
+        def put(loads: Dict[Channel, float], channel: Channel, amount: float) -> None:
+            if amount:
+                loads[channel] = loads.get(channel, 0.0) + amount
+
+        dst_router = (
+            dst if isinstance(dst, int) else self.destination_router(src, dst)
+        )
+        # Request: inject at the minimal attachments, spread to dst.
+        atts = self.injection_attachments(src, dst_router)
+        share = 1.0 / len(atts)
+        for att in atts:
+            put(request, att.inject, share)
+            for ch, frac in self.path_channels(att.router, dst_router).items():
+                put(request, ch, share * frac)
+        if isinstance(dst, str):
+            # Terminal-destined: the request also ejects at the far end.
+            eatts = self.ejection_attachments(dst_router, dst)
+            eshare = 1.0 / len(eatts)
+            for att in eatts:
+                put(request, att.eject, eshare)
+        # Response: back from the destination router to the source.
+        eatts = self.ejection_attachments(dst_router, src)
+        eshare = 1.0 / len(eatts)
+        for att in eatts:
+            for ch, frac in self.path_channels(dst_router, att.router).items():
+                put(response, ch, eshare * frac)
+            put(response, att.eject, eshare)
+        self._unit_memo[key] = (request, response)
+        return request, response
+
+    def channel_loads(self, matrix: TrafficMatrix) -> Dict[Channel, float]:
+        """Bytes offered to every channel (topology links plus terminal
+        inject/eject channels) by routing ``matrix`` minimally."""
+        loads: Dict[Channel, float] = {}
+        for flow in matrix.flows():
+            request, response = self.flow_unit_loads(flow.src, flow.dst)
+            if flow.request_bytes:
+                for ch, frac in request.items():
+                    loads[ch] = loads.get(ch, 0.0) + flow.request_bytes * frac
+            if flow.response_bytes:
+                for ch, frac in response.items():
+                    loads[ch] = loads.get(ch, 0.0) + flow.response_bytes * frac
+        return loads

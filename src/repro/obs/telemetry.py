@@ -78,8 +78,9 @@ class JobTelemetry:
     """
 
     label: str
-    #: ``"run"`` (simulated here), ``"cache"`` (served from the
-    #: ResultCache), or ``"failed"``.
+    #: ``"run"`` (simulated here), ``"analytic"`` (predicted by the
+    #: capacity model — no event engine ran), ``"cache"`` (served from
+    #: the ResultCache), or ``"failed"``.
     source: str = "run"
     wall_s: float = 0.0
     #: Simulation events executed by this job's engine.  For cache hits
@@ -127,6 +128,7 @@ def flight_summary(
     accumulated across cache instances and pool respawns).
     """
     ran = [t for t in telemetry if t.source == "run"]
+    analytic = [t for t in telemetry if t.source == "analytic"]
     cached = [t for t in telemetry if t.source == "cache"]
     failed = [t for t in telemetry if t.source == "failed"]
     sim_wall = sum(t.wall_s for t in ran)
@@ -136,6 +138,7 @@ def flight_summary(
         "schema": TELEMETRY_SCHEMA,
         "jobs": len(telemetry),
         "ran": len(ran),
+        "analytic": len(analytic),
         "cached": len(cached),
         "failed": len(failed),
         "retried": sum(1 for t in telemetry if t.retries),

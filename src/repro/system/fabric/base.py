@@ -188,10 +188,21 @@ class Fabric:
             from ...network.flitnet import FlitNetwork
 
             return FlitNetwork(system.sim, topo, netcfg, routing=system.spec.routing)
+        if system.cfg.network_model == "analytic":
+            # repro.system.run dispatches analytic runs to repro.analytic
+            # before any system is built; an analytic config reaching the
+            # fabric means someone constructed MultiGPUSystem directly.
+            raise ConfigError(
+                "network model 'analytic' has no event-driven engine; use "
+                "repro.analytic.analytic_run (or run_workload, which "
+                "dispatches automatically)"
+            )
         if system.cfg.network_model != "packet":
+            from ...config import NETWORK_MODELS
+
             raise ConfigError(
                 f"unknown network model {system.cfg.network_model!r}; "
-                "expected 'packet' or 'flit'"
+                f"valid: {sorted(NETWORK_MODELS)}"
             )
         return MemoryNetwork(system.sim, topo, netcfg, routing=system.spec.routing)
 

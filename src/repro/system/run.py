@@ -76,6 +76,26 @@ def run_workload_detailed(
     :class:`~repro.system.builder.MultiGPUSystem` for post-run inspection
     (e.g. :func:`repro.system.report.system_report`)."""
     cfg = cfg or SystemConfig()
+    if cfg.network_model == "analytic":
+        # The analytic tier has no event engine and builds no system; the
+        # second element is None (there is nothing to post-inspect).
+        from ..analytic import analytic_run
+
+        return (
+            analytic_run(
+                spec,
+                workload,
+                cfg=cfg,
+                placement_policy=placement_policy,
+                placement_clusters=placement_clusters,
+                placement_weights=placement_weights,
+                num_active_gpus=num_active_gpus,
+                collect_traffic=collect_traffic,
+                seed=seed,
+                obs=obs,
+            ),
+            None,
+        )
     # Restart the packet-id sequence so every run is a pure function of
     # (spec, workload, cfg) regardless of what ran earlier in the process
     # — the invariant the sweep executor and result cache rely on.

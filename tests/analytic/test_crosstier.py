@@ -1,0 +1,37 @@
+"""Analytic rows vs the committed packet reference rows.
+
+The full harness (``python -m repro.exec xtier``) re-runs the packet
+sweep to refit coefficients; this test is the fast half of the bargain —
+it re-runs only the analytic tier (milliseconds) and holds it to the
+tolerance bands committed in the calibration artifact.
+"""
+
+import pytest
+
+from repro.analytic import load_calibration
+from repro.exec.xtier import FIGURES, compare_rows, run_figure_rows
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    artifact = load_calibration()
+    if not artifact.figures:
+        pytest.skip("no committed reference rows (artifact not fitted)")
+    return artifact
+
+
+@pytest.mark.parametrize("figure", FIGURES)
+def test_figure_within_committed_tolerance(figure, calibration):
+    reference = calibration.figures.get(figure)
+    assert reference is not None and reference.rows, (
+        f"{figure} missing from the committed calibration artifact; "
+        "refit with `python -m repro.exec xtier --recalibrate`"
+    )
+    scale = float(calibration.meta.get("scale", 0.25))
+    candidate = run_figure_rows(figure, scale, "analytic")
+    worst, breaches = compare_rows(reference.rows, candidate, reference.tolerance)
+    assert not breaches, (
+        f"{figure}: {len(breaches)} breach(es), first: {breaches[0]}"
+    )
+    # Every compared column carries a committed band (no silent defaults).
+    assert set(worst) <= set(reference.tolerance)

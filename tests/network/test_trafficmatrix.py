@@ -1,0 +1,154 @@
+"""TrafficMatrix / FlowRouter: accumulation, routing spreads, loads.
+
+Hand-computed expectations on tiny topologies (a line and a square), so
+every fraction is checkable on paper.
+"""
+
+import pytest
+
+from repro.network.topology import Topology
+from repro.network.trafficmatrix import FlowRouter, TrafficMatrix
+
+
+def line4() -> Topology:
+    """Routers 0-1-2-3 in a line: every minimal path is unique."""
+    topo = Topology("line4", 4)
+    for a in (0, 1, 2):
+        topo.add_link(a, a + 1)
+    topo.attach_terminal("gpu0", 0)
+    topo.attach_terminal("gpu1", 3)
+    return topo
+
+
+def square() -> Topology:
+    """Routers on a 4-cycle: opposite corners have two minimal paths."""
+    topo = Topology("square", 4)
+    for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+        topo.add_link(a, b)
+    topo.attach_terminal("gpu0", 0)
+    return topo
+
+
+class TestTrafficMatrix:
+    def test_add_accumulates_per_flow(self):
+        matrix = TrafficMatrix(4)
+        matrix.add("gpu0", 2, requests=1.0, request_bytes=32.0, response_bytes=80.0)
+        matrix.add("gpu0", 2, requests=2.0, request_bytes=64.0, response_bytes=160.0)
+        matrix.add("gpu0", "gpu1", requests=1.0, request_bytes=144.0)
+        assert len(matrix) == 2
+        assert matrix.total_requests == 4.0
+        assert matrix.total_request_bytes == 240.0
+        assert matrix.total_response_bytes == 240.0
+
+    def test_flows_deterministically_ordered(self):
+        matrix = TrafficMatrix(4)
+        matrix.add("b", 1)
+        matrix.add("a", "z")
+        matrix.add("a", 0)
+        assert [(f.src, f.dst) for f in matrix.flows()] == [
+            ("a", 0),
+            ("a", "z"),
+            ("b", 1),
+        ]
+
+    def test_destination_router_bounds(self):
+        matrix = TrafficMatrix(2)
+        with pytest.raises(ValueError):
+            matrix.add("gpu0", 2)
+
+    def test_scaled(self):
+        matrix = TrafficMatrix(4)
+        matrix.add("gpu0", 1, requests=2.0, request_bytes=32.0, response_bytes=16.0)
+        half = matrix.scaled(0.5)
+        flow = half.flows()[0]
+        assert (flow.requests, flow.request_bytes, flow.response_bytes) == (
+            1.0,
+            16.0,
+            8.0,
+        )
+        # The original is untouched.
+        assert matrix.total_requests == 2.0
+
+    def test_bytes_matrix_router_destined_only(self):
+        matrix = TrafficMatrix(3)
+        matrix.add("gpu0", 1, request_bytes=100.4)
+        matrix.add("gpu0", "gpu1", request_bytes=999.0)  # terminal flow: excluded
+        matrix.add("gpu1", 2, request_bytes=7.0)
+        assert matrix.bytes_matrix(["gpu0", "gpu1"]) == [
+            [0, 100, 0],
+            [0, 0, 7],
+        ]
+
+
+class TestFlowRouterLine:
+    def test_unique_path_spread(self):
+        router = FlowRouter(line4())
+        spread = router.path_channels(0, 3)
+        # One unique minimal path: each of the three hops carries the
+        # whole flow, total traversals == distance.
+        assert pytest.approx(sum(spread.values())) == 3.0
+        assert all(frac == pytest.approx(1.0) for frac in spread.values())
+
+    def test_distances(self):
+        router = FlowRouter(line4())
+        assert router.request_distance("gpu0", 3) == 3
+        assert router.response_distance(3, "gpu0") == 3
+        assert router.destination_router("gpu0", "gpu1") == 3
+
+    def test_channel_loads_request_and_response(self):
+        topo = line4()
+        router = FlowRouter(topo)
+        matrix = TrafficMatrix(4)
+        matrix.add("gpu0", 2, requests=1.0, request_bytes=32.0, response_bytes=80.0)
+        loads = router.channel_loads(matrix)
+        att = topo.attachments("gpu0")[0]
+        # Request: inject + 2 hops; response: 2 hops back + eject.
+        assert loads[att.inject] == pytest.approx(32.0)
+        assert loads[att.eject] == pytest.approx(80.0)
+        hop_bytes = [
+            amount
+            for channel, amount in loads.items()
+            if channel not in (att.inject, att.eject)
+        ]
+        assert sorted(hop_bytes) == pytest.approx([32.0, 32.0, 80.0, 80.0])
+
+    def test_terminal_destination_ejects_far_end(self):
+        topo = line4()
+        router = FlowRouter(topo)
+        matrix = TrafficMatrix(4)
+        matrix.add("gpu0", "gpu1", requests=1.0, request_bytes=144.0)
+        loads = router.channel_loads(matrix)
+        far = topo.attachments("gpu1")[0]
+        assert loads[far.eject] == pytest.approx(144.0)
+
+    def test_unit_loads_match_channel_loads(self):
+        topo = line4()
+        router = FlowRouter(topo)
+        matrix = TrafficMatrix(4)
+        matrix.add("gpu0", 3, requests=2.0, request_bytes=64.0, response_bytes=160.0)
+        request, response = router.flow_unit_loads("gpu0", 3)
+        expected = {ch: 64.0 * f for ch, f in request.items()}
+        for ch, f in response.items():
+            expected[ch] = expected.get(ch, 0.0) + 160.0 * f
+        assert router.channel_loads(matrix) == pytest.approx(expected)
+
+
+class TestFlowRouterSquare:
+    def test_even_split_on_tied_paths(self):
+        router = FlowRouter(square())
+        spread = router.path_channels(0, 2)
+        # Two minimal paths (via 1 and via 3): four channels at half each.
+        assert len(spread) == 4
+        assert all(frac == pytest.approx(0.5) for frac in spread.values())
+        assert pytest.approx(sum(spread.values())) == 2.0
+
+    def test_loads_scale_linearly(self):
+        topo = square()
+        router = FlowRouter(topo)
+        matrix = TrafficMatrix(4)
+        matrix.add("gpu0", 2, requests=1.0, request_bytes=100.0)
+        loads = router.channel_loads(matrix)
+        doubled = router.channel_loads(matrix.scaled(2.0))
+        assert doubled == pytest.approx(
+            {ch: 2.0 * amount for ch, amount in loads.items()}
+        )
