@@ -30,13 +30,14 @@ from .calibrate import (
     load_calibration,
     reset_calibration_cache,
 )
-from .model import analytic_run
+from .model import analytic_cost, analytic_run
 from .profile import WorkloadProfile, profile_workload
 
 __all__ = [
     "Calibration",
     "Coefficients",
     "FigureReference",
+    "analytic_cost",
     "analytic_run",
     "calibration_digest",
     "calibration_key",

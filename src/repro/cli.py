@@ -17,10 +17,20 @@ Performance flags (``all`` and every experiment subcommand):
 
 - ``--jobs N`` — run the sweep's independent simulations on N worker
   processes (default 1 = serial; results are identical either way).
-  ``REPRO_JOBS=N`` is the environment equivalent.
+  ``auto`` resolves to cpu_count - 1.  ``REPRO_JOBS=N`` (or ``auto``)
+  is the environment equivalent.
+- ``--schedule {fifo,lpt}`` — pool submission order for cache misses:
+  ``lpt`` (default) predicts each point's cost with the analytic tier +
+  CostBook and submits longest-first to minimize makespan; ``fifo``
+  submits in declaration order.  Rows are identical either way.
+- ``--prefilter [RATIO]`` (``ext-*`` exploration sweeps only) — skip
+  points whose analytic predicted runtime exceeds RATIO x their
+  workload group's best (default 3.0); every pruned point is reported
+  in telemetry.  Never available on figure reproductions.
 - ``--cache [DIR]`` — memoize simulation results keyed on (config,
   workload, code version); with DIR the cache persists on disk across
   invocations (``REPRO_CACHE_DIR`` is the environment equivalent).
+  The scheduling CostBook persists as ``costbook.json`` next to it.
 - ``--bench-json DIR`` — write a ``BENCH_<experiment>.json`` wall-clock
   record for the run, including simulated events and events/sec when the
   sweep executed anything (see docs/performance.md).
@@ -74,7 +84,16 @@ from typing import List, Optional
 
 from .config import NETWORK_MODELS
 from .errors import ConfigError, SimulationError, SweepError
-from .exec import ResultCache, jobs_from_env, process_cache_stats, write_bench
+from .exec import (
+    SCHEDULES,
+    ResultCache,
+    auto_jobs,
+    jobs_from_env,
+    pool_spawns,
+    process_cache_stats,
+    shutdown_pool,
+    write_bench,
+)
 from .exec import runtime as exec_runtime
 from .experiments import EXPERIMENTS
 from .obs import Observability, default_observability, make_progress
@@ -129,10 +148,31 @@ def _positive_us(text: str) -> float:
 
 
 def _positive_jobs(text: str) -> int:
-    value = int(text)
+    if text.strip().lower() == "auto":
+        return auto_jobs()
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs needs a worker count >= 1 or 'auto', got {text}"
+        ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(
-            f"--jobs needs a worker count >= 1, got {text}"
+            f"--jobs needs a worker count >= 1 or 'auto', got {text}"
+        )
+    return value
+
+
+def _prefilter_ratio(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--prefilter needs a ratio > 1, got {text}"
+        ) from None
+    if value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--prefilter needs a ratio > 1, got {text}"
         )
     return value
 
@@ -165,8 +205,18 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         type=_positive_jobs,
         default=None,
         metavar="N",
-        help="run sweep points on N worker processes (default: REPRO_JOBS "
-        "or serial; results are identical either way)",
+        help="run sweep points on N worker processes, or 'auto' for "
+        "cpu_count-1 (default: REPRO_JOBS or serial; results are "
+        "identical either way)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=SCHEDULES,
+        default="lpt",
+        help="pool submission order for cache misses: lpt (default) "
+        "predicts each point's cost and submits longest-first to "
+        "minimize makespan, fifo submits in declaration order; merged "
+        "rows are identical either way",
     )
     parser.add_argument(
         "--cache",
@@ -262,6 +312,8 @@ def _install_perf_defaults(args, obs: Optional[Observability] = None):
             jobs = 1
     exec_runtime.set_default_jobs(jobs)
     exec_runtime.set_default_fidelity(getattr(args, "fidelity", None))
+    exec_runtime.set_default_schedule(getattr(args, "schedule", "lpt"))
+    exec_runtime.set_default_prefilter(getattr(args, "prefilter", None))
     exec_runtime.set_default_keep_going(getattr(args, "keep_going", False))
     exec_runtime.set_default_trace_dir(trace_dir)
     exec_runtime.set_default_progress(
@@ -360,17 +412,29 @@ def _run_experiment(
         note += f" ({cache.stats.as_note()})"
     print(f"[{name} completed in {wall:.1f}s{note}]")
     events = sum(t.events for t in result.telemetry if t.source == "run")
+    spawns = pool_spawns() if jobs > 1 else None
     if result.telemetry:
-        s = result.flight_summary()
+        s = result.flight_summary(pool_spawns=spawns)
         analytic_note = (
             f"{s['analytic']} analytic, " if s.get("analytic") else ""
         )
+        pruned_note = f"{s['pruned']} pruned, " if s.get("pruned") else ""
+        extras = ""
+        prediction = s.get("prediction")
+        if prediction:
+            extras += (
+                ", prediction "
+                f"{prediction['geomean_actual_over_predicted']:.2f}x "
+                "actual/predicted"
+            )
+        if spawns:
+            extras += f", {spawns} pool spawn(s)"
         print(
-            f"[flight: {s['ran']} ran, {analytic_note}"
+            f"[flight: {s['ran']} ran, {analytic_note}{pruned_note}"
             f"{s['cached']} cached, "
             f"{s['failed']} failed, {s['events']} events, "
             f"{s['events_per_sec']:.0f} ev/s, "
-            f"peak pending {s['peak_pending']}]"
+            f"peak pending {s['peak_pending']}{extras}]"
         )
     if save:
         result.save(save)
@@ -382,6 +446,7 @@ def _run_experiment(
             result.telemetry,
             failures=result.failures,
             cache_stats=process_cache_stats(),
+            pool_spawns=spawns,
         )
         print(f"[runlog -> {path}]")
     if bench_json:
@@ -399,7 +464,10 @@ def _run_experiment(
             jobs=jobs,
             rows=len(result.rows),
             events=events or None,
-            extra={"fidelity": fidelity},
+            extra={
+                "fidelity": fidelity,
+                "sched": exec_runtime.get_default_schedule(),
+            },
         )
         print(f"[bench record -> {path}]")
     if result.failures:
@@ -488,6 +556,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--save", default=None, help="export the rows (.csv or .json)"
         )
         _add_perf_flags(p)
+        if name.startswith("ext-"):
+            # Exploration sweeps only: figure runners feed every row into
+            # a merge loop and cannot tolerate pruned holes, so they
+            # never get the flag (docs/performance.md).
+            p.add_argument(
+                "--prefilter",
+                nargs="?",
+                const=3.0,
+                type=_prefilter_ratio,
+                default=None,
+                metavar="RATIO",
+                help="skip points whose analytic predicted runtime exceeds "
+                "RATIO x their workload group's best (default 3.0); every "
+                "pruned point is reported in notes and telemetry",
+            )
         _add_robustness_flags(p)
         _add_obs_flags(p)
 
@@ -550,6 +633,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ),
             )
             print()
+        # One warm pool serves the whole run; spawns > 1 means worker
+        # deaths or a limits change forced respawns along the way.
+        if (exec_runtime.get_default_jobs() or 1) > 1 and pool_spawns():
+            print(f"[pool: {pool_spawns()} spawn(s) across {len(EXPERIMENTS)} experiments]")
+        shutdown_pool()
         if trace_dir is not None:
             _merge_sweep_trace(trace_dir, args.trace)
         else:
@@ -566,6 +654,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         bench_json=args.bench_json,
         runlog=_runlog_dir(args),
     )
+    shutdown_pool()
     if trace_dir is not None:
         _merge_sweep_trace(trace_dir, args.trace)
     else:

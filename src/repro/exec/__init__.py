@@ -1,10 +1,18 @@
 """repro.exec — the sweep performance layer.
 
-Three cooperating pieces make the experiment suite scale:
+Four cooperating pieces make the experiment suite scale:
 
 - :class:`~repro.exec.executor.SweepExecutor` fans independent sweep
-  points out over a process pool (``--jobs N`` / ``REPRO_JOBS``) with
-  deterministic submission-order merging and a serial default;
+  points out over a process pool (``--jobs N`` / ``REPRO_JOBS``, or
+  ``auto`` for cpu_count - 1) with deterministic submission-order
+  merging and a serial default; the pool itself is kept warm in a
+  process-wide manager and reused across sweeps and experiments;
+- :mod:`~repro.exec.planner` predicts each pending point's cost with
+  the analytic tier plus a self-improving :class:`CostBook` persisted
+  next to the cache, submits cache misses longest-predicted-first
+  (``--schedule lpt``, the default) to minimize pool makespan, and
+  powers the opt-in ``--prefilter`` pruning of dominated exploration
+  points;
 - :class:`~repro.exec.cache.ResultCache` keys results on a content hash
   of (spec, config, workload, code version) and short-circuits repeated
   simulations within and across experiments;
@@ -12,7 +20,8 @@ Three cooperating pieces make the experiment suite scale:
   ``BENCH_<name>.json`` so the performance trajectory is measurable.
 
 Correctness bar: serial, parallel, and cached executions of the same
-sweep produce identical rows (every run is a pure function of its job).
+sweep produce identical rows (every run is a pure function of its job),
+under either submission schedule.
 
 Failure is a first-class outcome: workers return
 :class:`~repro.exec.jobs.JobOutcome` (result or picklable
@@ -39,7 +48,14 @@ from .cache import (
     job_key,
     process_cache_stats,
 )
-from .executor import JOBS_ENV, SweepExecutor, jobs_from_env
+from .executor import (
+    JOBS_ENV,
+    SweepExecutor,
+    auto_jobs,
+    jobs_from_env,
+    pool_spawns,
+    shutdown_pool,
+)
 from .jobs import (
     JobFailure,
     JobOutcome,
@@ -49,20 +65,35 @@ from .jobs import (
     WorkloadRef,
     execute_job,
 )
+from .planner import (
+    SCHEDULES,
+    CostBook,
+    CostPrediction,
+    analytic_estimate,
+    lpt_order,
+    predict_costs,
+    prefilter_jobs,
+)
 from .runtime import (
     CACHE_DIR_ENV,
     default_executor,
     get_default_cache,
+    get_default_costbook,
     get_default_fidelity,
     get_default_jobs,
     get_default_keep_going,
+    get_default_prefilter,
     get_default_progress,
+    get_default_schedule,
     get_default_trace_dir,
     set_default_cache,
+    set_default_costbook,
     set_default_fidelity,
     set_default_jobs,
     set_default_keep_going,
+    set_default_prefilter,
     set_default_progress,
+    set_default_schedule,
     set_default_trace_dir,
     sweep_defaults,
 )
@@ -70,15 +101,20 @@ from .runtime import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CacheStats",
+    "CostBook",
+    "CostPrediction",
     "JOBS_ENV",
     "JobFailure",
     "JobOutcome",
     "JobTelemetry",
     "ResultCache",
+    "SCHEDULES",
     "SweepExecutor",
     "SweepJob",
     "SystemSpec",
     "WorkloadRef",
+    "analytic_estimate",
+    "auto_jobs",
     "bench_name_for_module",
     "bench_record",
     "diff_bench",
@@ -88,21 +124,32 @@ __all__ = [
     "default_executor",
     "execute_job",
     "get_default_cache",
+    "get_default_costbook",
     "get_default_fidelity",
     "get_default_jobs",
     "get_default_keep_going",
+    "get_default_prefilter",
     "get_default_progress",
+    "get_default_schedule",
     "get_default_trace_dir",
     "job_fingerprint",
     "job_key",
     "jobs_from_env",
+    "lpt_order",
+    "pool_spawns",
+    "predict_costs",
+    "prefilter_jobs",
     "process_cache_stats",
     "set_default_cache",
+    "set_default_costbook",
     "set_default_fidelity",
     "set_default_jobs",
     "set_default_keep_going",
+    "set_default_prefilter",
     "set_default_progress",
+    "set_default_schedule",
     "set_default_trace_dir",
+    "shutdown_pool",
     "sweep_defaults",
     "write_bench",
 ]

@@ -141,7 +141,10 @@ def diff_bench(
         elif ratio < 1.0 - threshold:
             status = "improved"
         notes = []
-        for key in ("jobs", "rows"):
+        # "sched" stays like-for-like on purpose: the submission order
+        # (fifo vs lpt) changes wall clock, never results, and the diff
+        # gate exists precisely to measure that wall-clock change.
+        for key in ("jobs", "rows", "sched"):
             if frec.get(key) != brec.get(key):
                 notes.append(f"{key} differ: {frec.get(key)} vs baseline {brec.get(key)}")
         entry = {

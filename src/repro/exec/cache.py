@@ -137,6 +137,13 @@ class ResultCache:
         self.stats.add(**counts)
         _PROCESS_STATS.add(**counts)
 
+    def sidecar_path(self, name: str) -> Optional[Path]:
+        """Where a companion artifact (e.g. the planner's
+        ``costbook.json``) lives for this cache: inside the cache
+        directory when the cache persists, ``None`` when it is
+        memory-only — sidecars share the cache's lifetime."""
+        return self.path / name if self.path is not None else None
+
     def __len__(self) -> int:
         return len(self._mem)
 

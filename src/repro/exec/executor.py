@@ -16,7 +16,11 @@ Degrees of freedom, in precedence order:
    keep working, since workers cannot share a tracer).
 
 An attached :class:`~repro.exec.cache.ResultCache` short-circuits any job
-whose result is already known; only misses are submitted to the pool.
+whose result is already known; only misses are submitted to the pool —
+under the default ``lpt`` schedule in longest-predicted-first order (see
+:mod:`repro.exec.planner`), which changes wall clock but never rows.
+Worker pools are kept warm in a process-wide :class:`_PoolManager` and
+reused across sweeps and experiments.
 
 Failure semantics (docs/robustness.md):
 
@@ -50,18 +54,28 @@ from ..sim import watchdog
 from ..system.metrics import RunResult
 from .cache import ResultCache
 from .jobs import JobOutcome, SweepJob, _worker_initializer, execute_job
+from .planner import SCHEDULES, CostBook, CostPrediction, lpt_order, predict_costs
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV = "REPRO_JOBS"
 
 
+def auto_jobs() -> int:
+    """The worker count ``--jobs auto`` resolves to: every CPU but one,
+    leaving a core for the merging parent (never less than 1)."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
 def jobs_from_env(default: int = 1) -> int:
-    """Parse ``REPRO_JOBS``; invalid or non-positive values fall back
-    (with a warning naming the value and the fallback, so a typo like
-    ``REPRO_JOBS=four`` no longer silently serializes the sweep)."""
+    """Parse ``REPRO_JOBS``; ``auto`` resolves via :func:`auto_jobs`,
+    invalid or non-positive values fall back (with a warning naming the
+    value and the fallback, so a typo like ``REPRO_JOBS=four`` no longer
+    silently serializes the sweep)."""
     raw = os.environ.get(JOBS_ENV, "").strip()
     if not raw:
         return default
+    if raw.lower() == "auto":
+        return auto_jobs()
     try:
         value = int(raw)
     except ValueError:
@@ -80,6 +94,56 @@ def jobs_from_env(default: int = 1) -> int:
     return value
 
 
+class _PoolManager:
+    """One process-wide worker pool, kept warm across sweeps.
+
+    PR 5 tore the pool down after every sweep, so ``repro all --jobs N``
+    paid fork + interpreter-warmup once per experiment.  The manager
+    hands the same ``ProcessPoolExecutor`` to every sweep whose shape
+    (worker count, watchdog limits) matches; a shape change or a broken
+    pool discards it and the next acquire respawns.  ``spawns`` counts
+    pool creations so the flight summary can show the warm-pool win.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._key: Optional[tuple] = None
+        self.spawns = 0
+
+    def acquire(self, workers: int, watchdog_limits: tuple) -> ProcessPoolExecutor:
+        key = (workers, tuple(watchdog_limits))
+        if self._pool is None or self._key != key:
+            self.discard()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_initializer,
+                initargs=(watchdog_limits,),
+            )
+            self._key = key
+            self.spawns += 1
+        return self._pool
+
+    def discard(self) -> None:
+        """Shut the pool down (broken pool, shape change, or process exit)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._key = None
+
+
+_POOL = _PoolManager()
+
+
+def pool_spawns() -> int:
+    """How many worker pools this process has spawned so far."""
+    return _POOL.spawns
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared warm pool (end of a CLI run, or tests)."""
+    _POOL.discard()
+
+
 class SweepExecutor:
     """Runs sweep jobs serially or across worker processes."""
 
@@ -92,6 +156,8 @@ class SweepExecutor:
         pool_backoff_s: float = 0.25,
         progress: Optional[ProgressListener] = None,
         trace_dir: Optional[str] = None,
+        schedule: str = "lpt",
+        costbook: Optional[CostBook] = None,
     ) -> None:
         if jobs is None:
             jobs = jobs_from_env()
@@ -99,11 +165,24 @@ class SweepExecutor:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if pool_retries < 0:
             raise ConfigError(f"pool_retries must be >= 0, got {pool_retries}")
+        if schedule not in SCHEDULES:
+            raise ConfigError(
+                f"schedule must be one of {'/'.join(SCHEDULES)}, got {schedule!r}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.keep_going = keep_going
         self.pool_retries = pool_retries
         self.pool_backoff_s = pool_backoff_s
+        #: Pool submission order for cache misses: ``"lpt"`` (default)
+        #: submits longest-predicted-first, ``"fifo"`` in declaration
+        #: order.  Merged rows are identical either way.
+        self.schedule = schedule
+        #: Cost predictions for LPT ordering; built lazily next to the
+        #: attached cache when not given (in-memory without one).
+        self.costbook = costbook
+        #: Per-sweep predictions, stamped onto landed telemetry.
+        self._predictions: Optional[Dict[int, CostPrediction]] = None
         #: Optional :class:`~repro.obs.telemetry.ProgressListener`
         #: narrating job state transitions (see docs/observability.md).
         self.progress = progress
@@ -169,7 +248,8 @@ class SweepExecutor:
         if inline:
             self._map_serial(jobs, inline, outcomes)
         if self.jobs > 1 and len(pooled) > 1:
-            self._map_pool(jobs, pooled, outcomes)
+            order = self._plan(jobs, pooled)
+            self._map_pool(jobs, order, outcomes)
         else:
             self._map_serial(jobs, pooled, outcomes)
 
@@ -182,6 +262,9 @@ class SweepExecutor:
                 f"{', '.join(lost[:5])}"
                 + (" ..." if len(lost) > 5 else "")
             )
+        if self.costbook is not None:
+            self.costbook.save()
+        self._predictions = None
         done: List[JobOutcome] = outcomes  # type: ignore[assignment]
         self._emit(
             {
@@ -223,10 +306,53 @@ class SweepExecutor:
         if self.cache is not None and outcome.ok:
             self.cache.put(job, outcome.result)
 
+    def _plan(
+        self, jobs: List[SweepJob], pooled: List[int]
+    ) -> List[int]:
+        """Order the pool submissions per ``self.schedule``.
+
+        Under LPT every pending point is costed through the
+        :class:`~repro.exec.planner.CostBook` (observed wall, else
+        analytic units x learned rates, else defaults) and submitted
+        longest-predicted-first, so the sweep's slowest point cannot land
+        on a worker last and stretch the makespan.  Predictions are
+        remembered for the sweep: landed telemetry gets its
+        ``predicted_wall_s`` stamped and successful runs are fed back
+        into the book.
+        """
+        if self.schedule != "lpt":
+            return pooled
+        if self.costbook is None:
+            self.costbook = CostBook.for_cache(self.cache)
+        predictions = predict_costs(jobs, pooled, self.costbook)
+        self._predictions = predictions
+        order = lpt_order(pooled, predictions)
+        self._emit(
+            {
+                "event": "planned",
+                "schedule": self.schedule,
+                "pending": len(order),
+                "predicted_wall_s": round(
+                    sum(p.wall_s for p in predictions.values()), 4
+                ),
+                "observed": sum(
+                    1 for p in predictions.values() if p.source == "observed"
+                ),
+            }
+        )
+        return order
+
     def _landed(self, i: int, job: SweepJob, outcome: JobOutcome) -> None:
         """Shared completion bookkeeping: salvage + progress narration."""
         self._store(job, outcome)
         t = outcome.telemetry
+        prediction = (
+            self._predictions.get(i) if self._predictions is not None else None
+        )
+        if t is not None and prediction is not None:
+            t.predicted_wall_s = prediction.wall_s
+            if outcome.ok and self.costbook is not None:
+                self.costbook.observe(job, t, units=prediction.units)
         if outcome.ok:
             self._emit(
                 {
@@ -333,43 +459,57 @@ class SweepExecutor:
         ``started`` is emitted at pool hand-off (a worker may dequeue the
         job slightly later); the landed outcome's telemetry pins the true
         execution wall time and worker pid.
+
+        The pool itself comes from the process-wide :class:`_PoolManager`
+        and is *not* torn down on return — later sweeps (and later
+        experiments in ``repro all``) reuse the warm workers.  The pool is
+        sized ``self.jobs`` regardless of this round's job count so a
+        short sweep never shrinks (and therefore respawns) the pool a
+        longer sibling already warmed up.  A round that loses jobs to
+        breakage discards the pool, so the PR-5 respawn/backoff retry
+        logic in :meth:`_map_pool` is unchanged.
         """
-        workers = min(self.jobs, len(indices))
         lost: List[int] = []
         first_failure = None
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_initializer,
-            initargs=(watchdog.get_default_limits(),),
-        ) as pool:
-            future_to_index = {}
-            for i in indices:
-                future_to_index[
-                    pool.submit(execute_job, self._submittable(jobs[i]))
-                ] = i
-                self._emit(
-                    {"event": "started", "label": jobs[i].label, "index": i}
-                )
-            for future in as_completed(future_to_index):
-                i = future_to_index[future]
-                try:
-                    outcome = future.result()
-                except CancelledError:
-                    continue  # fail-fast already cancelled this point
-                except BrokenExecutor:
-                    lost.append(i)
-                    continue
-                if outcome.telemetry is not None and retry_counts:
-                    outcome.telemetry.retries = retry_counts.get(i, 0)
-                outcomes[i] = outcome
-                self._landed(i, jobs[i], outcome)
-                if not outcome.ok and first_failure is None and not self.keep_going:
-                    # Fail fast, but salvage first: cancel what hasn't
-                    # started and keep draining what has, so every finished
-                    # simulation reaches the cache before the raise.
-                    first_failure = outcome.failure
-                    for other in future_to_index:
-                        other.cancel()
+        pool = _POOL.acquire(self.jobs, watchdog.get_default_limits())
+        future_to_index = {}
+        for i in indices:
+            try:
+                future = pool.submit(execute_job, self._submittable(jobs[i]))
+            except BrokenExecutor:
+                # A warm pool's workers are already executing while we
+                # submit, so a worker death can break the pool mid-loop
+                # (a cold pool was still forking and could not).  The
+                # unsubmittable remainder joins the lost set for the
+                # respawn-and-retry pass.
+                lost.append(i)
+                continue
+            future_to_index[future] = i
+            self._emit(
+                {"event": "started", "label": jobs[i].label, "index": i}
+            )
+        for future in as_completed(future_to_index):
+            i = future_to_index[future]
+            try:
+                outcome = future.result()
+            except CancelledError:
+                continue  # fail-fast already cancelled this point
+            except BrokenExecutor:
+                lost.append(i)
+                continue
+            if outcome.telemetry is not None and retry_counts:
+                outcome.telemetry.retries = retry_counts.get(i, 0)
+            outcomes[i] = outcome
+            self._landed(i, jobs[i], outcome)
+            if not outcome.ok and first_failure is None and not self.keep_going:
+                # Fail fast, but salvage first: cancel what hasn't
+                # started and keep draining what has, so every finished
+                # simulation reaches the cache before the raise.
+                first_failure = outcome.failure
+                for other in future_to_index:
+                    other.cancel()
+        if lost:
+            _POOL.discard()  # dead workers — force a fresh spawn on retry
         if first_failure is not None:
             self._fail_fast(first_failure)
         return sorted(lost)

@@ -214,9 +214,19 @@ def _worker_initializer(watchdog_limits: Tuple[Optional[int], Optional[float]] =
     flow back, so drop it.  The parent's watchdog limits (``--max-events``
     / ``--wall-limit``) are installed explicitly so they also hold under
     spawn-based start methods.
+
+    The initializer also pre-imports the heavy modules every packet/flit
+    job needs (system builder/runner, the workload suite, the topology
+    registry), so a worker pays import cost once at spawn — not inside
+    its first job's measured wall time.  Under fork these are near-free
+    (inherited); under spawn they are the warm-pool win.
     """
     from ..obs import runtime as obs_runtime
     from ..sim import watchdog
 
     obs_runtime.set_default(None)
     watchdog.set_default_limits(*watchdog_limits)
+
+    from ..network import topologies  # noqa: F401
+    from ..system import builder, run  # noqa: F401
+    from ..workloads import suite  # noqa: F401

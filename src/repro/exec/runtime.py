@@ -22,6 +22,7 @@ from ..errors import ConfigError
 from ..obs.telemetry import ProgressListener
 from .cache import ResultCache
 from .executor import SweepExecutor
+from .planner import SCHEDULES, CostBook
 
 #: Environment variable naming a persistent cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -34,6 +35,9 @@ _default_keep_going: bool = False
 _default_progress: Optional[ProgressListener] = None
 _default_trace_dir: Optional[str] = None
 _default_fidelity: Optional[str] = None
+_default_schedule: str = "lpt"
+_default_prefilter: Optional[float] = None
+_default_costbook: object = _UNSET
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -119,6 +123,52 @@ def get_default_fidelity() -> Optional[str]:
     return _default_fidelity
 
 
+def set_default_schedule(schedule: str) -> None:
+    """Install the pool submission order (the CLI's ``--schedule``)."""
+    global _default_schedule
+    if schedule not in SCHEDULES:
+        raise ConfigError(
+            f"schedule must be one of {'/'.join(SCHEDULES)}, got {schedule!r}"
+        )
+    _default_schedule = schedule
+
+
+def get_default_schedule() -> str:
+    """The installed pool submission order (``"lpt"`` unless set)."""
+    return _default_schedule
+
+
+def set_default_prefilter(ratio: Optional[float]) -> None:
+    """Install the dominated-point prune ratio (``--prefilter``); ``None``
+    (the default) disables pruning.  Exploration sweeps only — never
+    figure reproductions (see docs/performance.md)."""
+    global _default_prefilter
+    if ratio is not None and ratio <= 1.0:
+        raise ConfigError(f"prefilter ratio must be > 1, got {ratio}")
+    _default_prefilter = ratio
+
+
+def get_default_prefilter() -> Optional[float]:
+    """The installed prune ratio, or ``None`` (no pruning)."""
+    return _default_prefilter
+
+
+def set_default_costbook(costbook: Optional[CostBook]) -> None:
+    """Install the shared CostBook (``None`` re-derives from the cache)."""
+    global _default_costbook
+    _default_costbook = costbook if costbook is not None else _UNSET
+
+
+def get_default_costbook() -> CostBook:
+    """The process-shared CostBook; first call derives it from the
+    default cache, so every experiment in one invocation (``repro all``)
+    feeds and reads the same observations."""
+    global _default_costbook
+    if _default_costbook is _UNSET:
+        _default_costbook = CostBook.for_cache(get_default_cache())
+    return _default_costbook  # type: ignore[return-value]
+
+
 def default_executor() -> SweepExecutor:
     """The executor an experiment uses when not handed one explicitly."""
     return SweepExecutor(
@@ -127,6 +177,8 @@ def default_executor() -> SweepExecutor:
         keep_going=get_default_keep_going(),
         progress=get_default_progress(),
         trace_dir=get_default_trace_dir(),
+        schedule=get_default_schedule(),
+        costbook=get_default_costbook(),
     )
 
 
@@ -138,10 +190,13 @@ def sweep_defaults(
     progress: Optional[ProgressListener] = None,
     trace_dir: Optional[str] = None,
     fidelity: Optional[str] = None,
+    schedule: str = "lpt",
+    prefilter: Optional[float] = None,
 ):
     """Scope executor defaults to a ``with`` block (tests, notebooks)."""
     global _default_jobs, _default_cache, _default_keep_going
     global _default_progress, _default_trace_dir, _default_fidelity
+    global _default_schedule, _default_prefilter, _default_costbook
     prev = (
         _default_jobs,
         _default_cache,
@@ -149,6 +204,9 @@ def sweep_defaults(
         _default_progress,
         _default_trace_dir,
         _default_fidelity,
+        _default_schedule,
+        _default_prefilter,
+        _default_costbook,
     )
     _default_jobs = jobs
     _default_cache = cache
@@ -156,6 +214,11 @@ def sweep_defaults(
     _default_progress = progress
     _default_trace_dir = trace_dir
     set_default_fidelity(fidelity)
+    set_default_schedule(schedule)
+    set_default_prefilter(prefilter)
+    # The CostBook rides with the cache: scoping a different cache must
+    # not leak observations into (or out of) the surrounding scope's book.
+    _default_costbook = _UNSET
     try:
         yield
     finally:
@@ -166,4 +229,7 @@ def sweep_defaults(
             _default_progress,
             _default_trace_dir,
             _default_fidelity,
+            _default_schedule,
+            _default_prefilter,
+            _default_costbook,
         ) = prev

@@ -12,7 +12,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..config import SystemConfig
 from ..exec.executor import SweepExecutor
 from ..exec.jobs import JobFailure, SweepJob
-from ..exec.runtime import get_default_fidelity
+from ..exec.planner import prefilter_jobs
+from ..exec.runtime import get_default_fidelity, get_default_prefilter
 from ..obs.telemetry import JobTelemetry, flight_summary
 from ..system.configs import ArchSpec, get_spec
 from ..system.metrics import RunResult
@@ -51,10 +52,14 @@ class ExperimentResult:
         """True when every sweep point produced a row (no failures)."""
         return not self.failures
 
-    def flight_summary(self, cache_stats=None) -> Dict[str, object]:
+    def flight_summary(
+        self, cache_stats=None, pool_spawns=None
+    ) -> Dict[str, object]:
         """Aggregate this experiment's per-job telemetry (see
         :func:`repro.obs.telemetry.flight_summary`)."""
-        return flight_summary(self.telemetry, self.failures, cache_stats)
+        return flight_summary(
+            self.telemetry, self.failures, cache_stats, pool_spawns
+        )
 
     # ------------------------------------------------------------------
     def columns(self) -> List[str]:
@@ -187,6 +192,7 @@ def run_jobs(
     jobs: Sequence[SweepJob],
     executor: SweepExecutor,
     result: ExperimentResult,
+    prefilter: Optional[float] = None,
 ) -> List[Optional[RunResult]]:
     """Execute a sweep and merge failures into ``result``.
 
@@ -198,9 +204,35 @@ def run_jobs(
     fail-fast (the executor default) a failure raises
     :class:`~repro.errors.SweepError` instead, after completed results
     were salvaged into the cache.
+
+    When a prefilter ratio is active (argument, else the installed
+    ``--prefilter`` default), clearly-dominated points are skipped before
+    submission: their slots return ``None``, each gets a
+    ``source="pruned"`` telemetry record, and one result note lists every
+    pruned point — a pruned point is always visible, never silently
+    missing.  Exploration sweeps only; figure runners must not pass rows
+    with holes to their merge loops, so the CLI exposes the flag on
+    ``ext-*`` experiments alone.
     """
+    jobs = list(jobs)
+    ratio = prefilter if prefilter is not None else get_default_prefilter()
+    keep = list(range(len(jobs)))
+    pruned: List[Dict[str, Any]] = []
+    if ratio is not None:
+        keep, pruned = prefilter_jobs(jobs, ratio)
+    pruned_by_index = {p["index"]: p for p in pruned}
+    outcome_by_index = dict(
+        zip(keep, executor.map_outcomes([jobs[i] for i in keep]))
+    )
     results: List[Optional[RunResult]] = []
-    for job, outcome in zip(jobs, executor.map_outcomes(jobs)):
+    for i, job in enumerate(jobs):
+        if i in pruned_by_index:
+            result.telemetry.append(
+                JobTelemetry(label=job.label, source="pruned")
+            )
+            results.append(None)
+            continue
+        outcome = outcome_by_index[i]
         if outcome.telemetry is not None:
             result.telemetry.append(outcome.telemetry)
         if outcome.ok:
@@ -208,6 +240,15 @@ def run_jobs(
         else:
             result.failures.append(outcome.failure)
             results.append(None)
+    if pruned:
+        listing = "; ".join(
+            f"{p['label']} (predicted {p['ratio']:.1f}x {p['best_label']})"
+            for p in pruned
+        )
+        result.note(
+            f"prefilter (ratio {ratio:g}): pruned {len(pruned)} of "
+            f"{len(jobs)} points as dominated: {listing}"
+        )
     return results
 
 

@@ -21,6 +21,29 @@ from .channel import Channel
 
 UNREACHABLE = 1 << 30
 
+#: Warm store of all-pairs BFS distance tables, shared across Topology
+#: instances in this process.  A sweep rebuilds the same few topology
+#: shapes once per job; the distance table is a pure function of the
+#: adjacency *structure* (names and channel objects don't enter it), so
+#: a worker that has routed a shape before skips the BFS entirely.
+#: ``_next_hops`` holds per-instance Channel objects and is always
+#: rebuilt.  Tables are stored fully computed and never mutated.
+_DIST_STORE: Dict[tuple, List[List[int]]] = {}
+_DIST_STORE_MAX = 64
+_dist_store_hits = 0
+
+
+def dist_store_hits() -> int:
+    """How many BFS table computations the warm store has skipped."""
+    return _dist_store_hits
+
+
+def reset_dist_store() -> None:
+    """Drop the warm distance tables (tests)."""
+    global _dist_store_hits
+    _DIST_STORE.clear()
+    _dist_store_hits = 0
+
 
 @dataclass
 class TerminalAttachment:
@@ -137,18 +160,38 @@ class Topology:
         self._next_hops = None
         self.version += 1
 
+    def _structure_key(self) -> tuple:
+        """The adjacency structure as a hashable key: distances depend
+        only on which routers neighbor which (multiplicity preserved for
+        exactness, though parallel links cannot change a distance)."""
+        return (
+            self.num_routers,
+            tuple(
+                tuple(sorted(nbr for nbr, _ in row)) for row in self.adj
+            ),
+        )
+
     def _compute_tables(self) -> None:
+        global _dist_store_hits
         n = self.num_routers
-        dist = [[UNREACHABLE] * n for _ in range(n)]
-        for src in range(n):
-            dist[src][src] = 0
-            queue = collections.deque([src])
-            while queue:
-                u = queue.popleft()
-                for v, _ in self.adj[u]:
-                    if dist[src][v] == UNREACHABLE:
-                        dist[src][v] = dist[src][u] + 1
-                        queue.append(v)
+        key = self._structure_key()
+        dist = _DIST_STORE.get(key)
+        if dist is None:
+            dist = [[UNREACHABLE] * n for _ in range(n)]
+            for src in range(n):
+                dist[src][src] = 0
+                queue = collections.deque([src])
+                while queue:
+                    u = queue.popleft()
+                    for v, _ in self.adj[u]:
+                        if dist[src][v] == UNREACHABLE:
+                            dist[src][v] = dist[src][u] + 1
+                            queue.append(v)
+            if len(_DIST_STORE) >= _DIST_STORE_MAX:
+                _DIST_STORE.pop(next(iter(_DIST_STORE)))
+            _DIST_STORE[key] = dist
+        else:
+            _dist_store_hits += 1
         next_hops: List[List[List[Tuple[int, Channel]]]] = [
             [[] for _ in range(n)] for _ in range(n)
         ]

@@ -39,6 +39,7 @@ rows stay byte-identical with telemetry on or off.
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 import sys
@@ -48,13 +49,18 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
 
 #: Bump when the RUNLOG / progress-event JSON layouts change shape.
-TELEMETRY_SCHEMA = 1
+#: 2: jobs gained ``predicted_wall_s`` and the ``pruned`` source; the
+#: summary gained ``pruned``, ``prediction``, and ``pool_spawns``.
+TELEMETRY_SCHEMA = 2
 
 #: Job state transitions a sweep can emit, in lifecycle order.
+#: ``planned`` fires once per sweep, after submission under the LPT
+#: schedule, carrying the predicted aggregate wall time.
 PROGRESS_EVENTS = (
     "begin",
     "submitted",
     "cached",
+    "planned",
     "started",
     "completed",
     "failed",
@@ -80,7 +86,8 @@ class JobTelemetry:
     label: str
     #: ``"run"`` (simulated here), ``"analytic"`` (predicted by the
     #: capacity model — no event engine ran), ``"cache"`` (served from
-    #: the ResultCache), or ``"failed"``.
+    #: the ResultCache), ``"pruned"`` (skipped by ``--prefilter`` — never
+    #: executed), or ``"failed"``.
     source: str = "run"
     wall_s: float = 0.0
     #: Simulation events executed by this job's engine.  For cache hits
@@ -92,6 +99,10 @@ class JobTelemetry:
     worker_pid: int = 0
     #: Times this job was resubmitted after a worker-pool death.
     retries: int = 0
+    #: The scheduler's predicted wall time (LPT planning), stamped by the
+    #: executor when a planned job lands; ``None`` when unplanned (FIFO,
+    #: serial, cache hit).
+    predicted_wall_s: Optional[float] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -102,7 +113,7 @@ class JobTelemetry:
 
     def to_record(self) -> Dict[str, Any]:
         """One RUNLOG line (``record: "job"``)."""
-        return {
+        record = {
             "record": "job",
             "label": self.label,
             "source": self.source,
@@ -113,24 +124,31 @@ class JobTelemetry:
             "worker_pid": self.worker_pid,
             "retries": self.retries,
         }
+        if self.predicted_wall_s is not None:
+            record["predicted_wall_s"] = round(self.predicted_wall_s, 6)
+        return record
 
 
 def flight_summary(
     telemetry: Sequence[JobTelemetry],
     failures: Sequence[Any] = (),
     cache_stats: Optional[Any] = None,
+    pool_spawns: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Aggregate a sweep's :class:`JobTelemetry` records into one dict.
 
     ``failures`` is the sweep's :class:`~repro.exec.jobs.JobFailure`
     list (for the slowest-failure highlight); ``cache_stats`` a
     :class:`~repro.exec.cache.CacheStats` (hit/miss/store/corrupt counts
-    accumulated across cache instances and pool respawns).
+    accumulated across cache instances and pool respawns);
+    ``pool_spawns`` the process-lifetime worker-pool spawn count
+    (:func:`repro.exec.pool_spawns` — 1 for a whole warm-pool run).
     """
     ran = [t for t in telemetry if t.source == "run"]
     analytic = [t for t in telemetry if t.source == "analytic"]
     cached = [t for t in telemetry if t.source == "cache"]
     failed = [t for t in telemetry if t.source == "failed"]
+    pruned = [t for t in telemetry if t.source == "pruned"]
     sim_wall = sum(t.wall_s for t in ran)
     events = sum(t.events for t in ran)
     summary: Dict[str, Any] = {
@@ -141,6 +159,7 @@ def flight_summary(
         "analytic": len(analytic),
         "cached": len(cached),
         "failed": len(failed),
+        "pruned": len(pruned),
         "retried": sum(1 for t in telemetry if t.retries),
         "events": events,
         "sim_wall_s": round(sim_wall, 4),
@@ -148,6 +167,23 @@ def flight_summary(
         "peak_pending": max((t.peak_pending for t in telemetry), default=0),
         "workers": sorted({t.worker_pid for t in telemetry if t.worker_pid}),
     }
+    predicted = [
+        t for t in ran if t.predicted_wall_s and t.wall_s > 0
+    ]
+    if predicted:
+        # Geomean of actual/predicted: 1.0 is a perfect CostBook, the
+        # ratio's distance from 1 is the planner's current bias.
+        log_sum = sum(
+            math.log(t.wall_s / t.predicted_wall_s) for t in predicted
+        )
+        summary["prediction"] = {
+            "jobs": len(predicted),
+            "geomean_actual_over_predicted": round(
+                math.exp(log_sum / len(predicted)), 3
+            ),
+        }
+    if pool_spawns is not None:
+        summary["pool_spawns"] = pool_spawns
     if ran:
         slowest = max(ran, key=lambda t: t.wall_s)
         summary["slowest"] = {
@@ -175,6 +211,7 @@ def write_runlog(
     telemetry: Sequence[JobTelemetry],
     failures: Sequence[Any] = (),
     cache_stats: Optional[Any] = None,
+    pool_spawns: Optional[int] = None,
 ) -> Path:
     """Persist a sweep's flight recorder as ``RUNLOG`` JSONL.
 
@@ -184,7 +221,7 @@ def write_runlog(
     """
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    summary = flight_summary(telemetry, failures, cache_stats)
+    summary = flight_summary(telemetry, failures, cache_stats, pool_spawns)
     summary["experiment"] = experiment
     with open(out, "w") as handle:
         for t in telemetry:

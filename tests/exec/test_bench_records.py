@@ -161,3 +161,32 @@ class TestDiffBench:
         assert "REGRESSION" in report and "fig14" in report
         ok = main(["--fresh", base, "--baseline", base])
         assert ok == 0
+
+
+class TestSchedField:
+    """``sched`` rides in BENCH records; differing sched is like-for-like."""
+
+    def test_sched_in_extra_roundtrips(self, tmp_path):
+        from repro.exec import write_bench
+
+        path = write_bench(
+            "fig14", 1.0, directory=str(tmp_path), jobs=2, rows=10,
+            extra={"sched": "lpt"},
+        )
+        assert json.loads(path.read_text())["sched"] == "lpt"
+
+    def test_sched_mismatch_is_note_not_skip(self, tmp_path):
+        from repro.exec import diff_bench, write_bench
+
+        # LPT only reorders submissions — results and workload are the
+        # same, so a sched change must stay a gated comparison, not a
+        # skipped one.
+        write_bench("fig14", 10.0, directory=str(tmp_path / "base"),
+                    jobs=2, rows=10, extra={"sched": "fifo"})
+        write_bench("fig14", 14.0, directory=str(tmp_path / "fresh"),
+                    jobs=2, rows=10, extra={"sched": "lpt"})
+        diff = diff_bench(str(tmp_path / "fresh"), str(tmp_path / "base"),
+                          threshold=0.25)
+        entry = diff["entries"][0]
+        assert entry["status"] == "regression"  # still gated
+        assert any("sched differ" in n for n in entry["notes"])

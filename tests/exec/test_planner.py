@@ -1,0 +1,317 @@
+"""The sweep planner: cost prediction, LPT ordering, the CostBook's
+persistence/corruption behavior, ``--jobs auto``, the warm pool, and the
+prefilter's no-silent-truncation contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exec import (
+    CostBook,
+    ResultCache,
+    SweepExecutor,
+    SweepJob,
+    WorkloadRef,
+    analytic_estimate,
+    auto_jobs,
+    jobs_from_env,
+    lpt_order,
+    pool_spawns,
+    prefilter_jobs,
+    shutdown_pool,
+    sweep_defaults,
+)
+from repro.exec.planner import COSTBOOK_NAME, CostPrediction
+from repro.experiments.common import ExperimentResult, job_for, run_jobs
+from repro.system.configs import get_spec
+
+from tests.conftest import tiny_system_config
+
+DIAG = "repro.workloads.diagnostics"
+
+
+def _cfg():
+    return tiny_system_config(num_gpus=2, num_sms=2)
+
+
+def _job(workload="VEC", scale=0.05, arch="GMN", tag=None):
+    return job_for(arch, workload, _cfg(), scale=scale, tag=tag)
+
+
+# ----------------------------------------------------------------------
+# --jobs auto
+# ----------------------------------------------------------------------
+def test_auto_jobs_is_positive():
+    assert auto_jobs() >= 1
+
+
+def test_jobs_from_env_auto(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert jobs_from_env(default=1) == auto_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "AUTO")
+    assert jobs_from_env(default=1) == auto_jobs()
+
+
+def test_cli_jobs_accepts_auto():
+    from repro.cli import _positive_jobs
+
+    assert _positive_jobs("auto") == auto_jobs()
+    assert _positive_jobs("3") == 3
+    with pytest.raises(Exception):
+        _positive_jobs("none")
+
+
+# ----------------------------------------------------------------------
+# Analytic estimation safety
+# ----------------------------------------------------------------------
+def test_analytic_estimate_registry_job():
+    estimate = analytic_estimate(_job("VEC"))
+    assert estimate is not None
+    assert estimate.units >= 1.0
+    assert estimate.total_ps > 0
+
+
+def test_analytic_estimate_never_builds_factory_workloads():
+    # make_kill_worker calls os._exit at *build* time: if the planner ever
+    # built a factory workload in the parent, this test would not merely
+    # fail — the test process would die.
+    ref = WorkloadRef("killworker", factory=f"{DIAG}:make_kill_worker")
+    job = SweepJob.make(get_spec("GMN"), ref, _cfg(), tag="kill")
+    assert analytic_estimate(job) is None
+
+
+def test_estimate_scales_with_problem_size():
+    small = analytic_estimate(_job("VEC", scale=0.05))
+    large = analytic_estimate(_job("VEC", scale=0.5))
+    assert large.units > small.units
+    assert large.total_ps > small.total_ps
+
+
+# ----------------------------------------------------------------------
+# LPT ordering
+# ----------------------------------------------------------------------
+def test_lpt_order_longest_first_stable_ties():
+    predictions = {
+        0: CostPrediction(wall_s=1.0, source="default"),
+        1: CostPrediction(wall_s=5.0, source="default"),
+        2: CostPrediction(wall_s=1.0, source="default"),
+        3: CostPrediction(wall_s=3.0, source="default"),
+    }
+    assert lpt_order([0, 1, 2, 3], predictions) == [1, 3, 0, 2]
+
+
+# ----------------------------------------------------------------------
+# CostBook
+# ----------------------------------------------------------------------
+def test_costbook_roundtrip_and_observed_override(tmp_path):
+    path = tmp_path / COSTBOOK_NAME
+    book = CostBook(path=path)
+    job = _job("VEC")
+    cold = book.predict(job)
+    assert cold.source in ("default", "rate")
+
+    from repro.obs.telemetry import JobTelemetry
+
+    book.observe(
+        job,
+        JobTelemetry(label="VEC@GMN", source="run", wall_s=0.5, events=1000),
+        units=cold.units,
+    )
+    book.save()
+    assert path.exists()
+
+    reloaded = CostBook(path=path)
+    warm = reloaded.predict(job)
+    assert warm.source == "observed"
+    assert warm.wall_s == pytest.approx(0.5)
+    assert reloaded.stats.hits == 1 and reloaded.stats.corrupt == 0
+
+
+def test_costbook_only_observes_real_runs():
+    from repro.obs.telemetry import JobTelemetry
+
+    book = CostBook()
+    job = _job("VEC")
+    book.observe(job, JobTelemetry(label="x", source="cache", wall_s=9.0))
+    book.observe(job, JobTelemetry(label="x", source="run", wall_s=0.0))
+    assert not book.points
+
+
+def test_corrupt_costbook_is_a_counted_miss(tmp_path):
+    path = tmp_path / COSTBOOK_NAME
+    path.write_text("{ not json at all")
+    book = CostBook(path=path)
+    # Mirrors the PR-5 corrupt-cache rule: counted, dropped, recomputed.
+    assert book.stats.corrupt == 1
+    assert not path.exists()
+    assert not book.points
+    prediction = book.predict(_job("VEC"))
+    assert prediction.wall_s > 0
+    assert book.stats.misses == 1
+
+
+def test_stale_schema_costbook_is_dropped(tmp_path):
+    path = tmp_path / COSTBOOK_NAME
+    path.write_text(json.dumps({"schema": 999, "points": {}, "rates": {}}))
+    book = CostBook(path=path)
+    assert book.stats.corrupt == 1 and not book.points
+
+
+def test_costbook_rides_next_to_the_cache(tmp_path):
+    on_disk = CostBook.for_cache(ResultCache(str(tmp_path)))
+    assert on_disk.path == tmp_path / COSTBOOK_NAME
+    assert CostBook.for_cache(ResultCache()).path is None
+    assert CostBook.for_cache(None).path is None
+
+
+# ----------------------------------------------------------------------
+# Scheduling through the executor
+# ----------------------------------------------------------------------
+def test_bad_schedule_rejected():
+    with pytest.raises(ConfigError, match="schedule"):
+        SweepExecutor(jobs=2, schedule="random")
+
+
+def test_lpt_predictions_stamped_and_learned(tmp_path):
+    cache_dir = tmp_path / "cache"
+    jobs = [_job(w, tag=f"{w}@GMN") for w in ("VEC", "BP", "KMN")]
+    executor = SweepExecutor(
+        jobs=2, cache=ResultCache(str(cache_dir)), schedule="lpt"
+    )
+    outcomes = executor.map_outcomes(jobs)
+    assert all(o.ok for o in outcomes)
+    predicted = [o.telemetry.predicted_wall_s for o in outcomes]
+    assert all(p is not None and p > 0 for p in predicted)
+    # The sweep's observations were persisted next to the cache ...
+    assert (cache_dir / COSTBOOK_NAME).exists()
+    # ... and a later run predicts from them (observed, not default).
+    book = CostBook(path=cache_dir / COSTBOOK_NAME)
+    assert book.predict(jobs[0]).source == "observed"
+
+
+def test_planned_event_emitted_on_lpt_pool_sweeps():
+    class Recorder:
+        def __init__(self):
+            self.kinds = []
+
+        def emit(self, event):
+            self.kinds.append(event["event"])
+
+        def close(self):
+            pass
+
+    recorder = Recorder()
+    jobs = [_job(w) for w in ("VEC", "BP")]
+    SweepExecutor(jobs=2, schedule="lpt", progress=recorder).map_outcomes(jobs)
+    assert "planned" in recorder.kinds
+    assert recorder.kinds.index("planned") < recorder.kinds.index("started")
+
+    recorder = Recorder()
+    SweepExecutor(jobs=2, schedule="fifo", progress=recorder).map_outcomes(jobs)
+    assert "planned" not in recorder.kinds
+
+
+def test_prediction_accuracy_in_flight_summary_and_runlog(tmp_path):
+    from repro.obs.telemetry import flight_summary, write_runlog
+
+    jobs = [_job(w, tag=f"{w}@GMN") for w in ("VEC", "BP")]
+    outcomes = SweepExecutor(jobs=2, schedule="lpt").map_outcomes(jobs)
+    telemetry = [o.telemetry for o in outcomes]
+    summary = flight_summary(telemetry, pool_spawns=pool_spawns())
+    assert summary["prediction"]["jobs"] == 2
+    assert summary["prediction"]["geomean_actual_over_predicted"] > 0
+    assert summary["pool_spawns"] >= 1
+
+    path = write_runlog(
+        str(tmp_path / "RUNLOG_x.jsonl"), "x", telemetry, pool_spawns=1
+    )
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    job_lines = [rec for rec in lines if rec["record"] == "job"]
+    assert all("predicted_wall_s" in rec for rec in job_lines)
+    assert lines[-1]["pool_spawns"] == 1
+
+
+# ----------------------------------------------------------------------
+# Warm pool
+# ----------------------------------------------------------------------
+def test_pool_reused_across_sweeps_and_executors():
+    shutdown_pool()
+    before = pool_spawns()
+    jobs = [_job(w) for w in ("VEC", "BP")]
+    SweepExecutor(jobs=2).map_outcomes(jobs)
+    SweepExecutor(jobs=2).map_outcomes(jobs)  # fresh executor, same pool
+    assert pool_spawns() == before + 1
+    shutdown_pool()
+
+
+def test_pool_respawns_when_shape_changes():
+    shutdown_pool()
+    before = pool_spawns()
+    jobs = [_job(w) for w in ("VEC", "BP")]
+    SweepExecutor(jobs=2).map_outcomes(jobs)
+    SweepExecutor(jobs=3).map_outcomes(jobs)
+    assert pool_spawns() == before + 2
+    shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# Prefilter
+# ----------------------------------------------------------------------
+def test_prefilter_ratio_validated():
+    with pytest.raises(ConfigError, match="ratio"):
+        prefilter_jobs([_job("VEC")], ratio=1.0)
+
+
+def test_prefilter_prunes_dominated_and_reports_every_point():
+    # Same workload, 20x the problem size: analytically dominated.
+    jobs = [
+        _job("VEC", scale=0.05, tag="VEC-small"),
+        _job("VEC", scale=1.0, tag="VEC-large"),
+        _job("BP", scale=0.05, tag="BP-only"),  # alone in its group: kept
+    ]
+    keep, pruned = prefilter_jobs(jobs, ratio=2.0)
+    assert keep == [0, 2]
+    assert [p["label"] for p in pruned] == ["VEC-large"]
+    assert pruned[0]["best_label"] == "VEC-small"
+    assert pruned[0]["ratio"] > 2.0
+
+
+def test_prefilter_keeps_unestimable_factory_points():
+    ref = WorkloadRef("crash", factory=f"{DIAG}:make_crash")
+    jobs = [
+        SweepJob.make(get_spec("GMN"), ref, _cfg(), tag="factory-a"),
+        SweepJob.make(get_spec("GMN"), ref, _cfg(), tag="factory-b"),
+    ]
+    keep, pruned = prefilter_jobs(jobs, ratio=1.5)
+    assert keep == [0, 1] and pruned == []
+
+
+def test_run_jobs_prefilter_telemetry_and_note():
+    jobs = [
+        _job("VEC", scale=0.05, tag="VEC-small"),
+        _job("VEC", scale=1.0, tag="VEC-large"),
+    ]
+    result = ExperimentResult(experiment="x", title="x")
+    with sweep_defaults(prefilter=2.0):
+        results = run_jobs(jobs, SweepExecutor(jobs=1), result)
+    assert results[0] is not None and results[1] is None
+    sources = [t.source for t in result.telemetry]
+    assert sources == ["run", "pruned"]
+    assert result.telemetry[1].label == "VEC-large"
+    # Every pruned point is named in the note — no silent truncation.
+    assert any("VEC-large" in note and "prefilter" in note for note in result.notes)
+    summary = result.flight_summary()
+    assert summary["pruned"] == 1
+
+
+def test_run_jobs_without_prefilter_is_unchanged():
+    jobs = [_job("VEC", tag="a"), _job("BP", tag="b")]
+    result = ExperimentResult(experiment="x", title="x")
+    results = run_jobs(jobs, SweepExecutor(jobs=1), result)
+    assert all(r is not None for r in results)
+    assert [t.source for t in result.telemetry] == ["run", "run"]
+    assert result.notes == []

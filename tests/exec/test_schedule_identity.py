@@ -1,0 +1,68 @@
+"""Scheduling is observational: fig07/fig14/fig16 rows are byte-identical
+across serial, ``--schedule fifo``, and ``--schedule lpt`` runs.
+
+The LPT planner only reorders *pool submissions*; outcomes merge by
+submission index, so no prediction — right or wrong — can change a row.
+These sweeps run reduced configurations (the same idiom as
+``test_sweep_identity.py``) through all three modes and compare rendered
+rows and notes, not summary scalars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import SweepExecutor
+from repro.experiments import (
+    fig07_remote_access,
+    fig14_organizations,
+    fig16_fig17_topologies,
+)
+
+from tests.conftest import tiny_system_config
+
+SCALE = 0.05
+WORKLOADS = ("VEC", "BP")
+
+
+def _fig07(executor):
+    result = fig07_remote_access.run(
+        num_ctas=16,
+        lines_per_cta=4,
+        cfg=tiny_system_config(num_gpus=4, num_sms=2),
+        executor=executor,
+    )
+    return result.rows, result.notes
+
+
+def _fig14(executor):
+    result = fig14_organizations.run(
+        scale=SCALE,
+        workloads=WORKLOADS,
+        cfg=tiny_system_config(num_gpus=2, num_sms=2),
+        executor=executor,
+    )
+    return result.rows, result.notes
+
+
+def _fig16(executor):
+    result = fig16_fig17_topologies.run(
+        scale=SCALE,
+        workloads=WORKLOADS,
+        cfg=tiny_system_config(num_gpus=2, num_sms=2),
+        executor=executor,
+    )
+    return result.rows, result.notes
+
+
+@pytest.mark.parametrize(
+    "figure", [_fig07, _fig14, _fig16], ids=["fig07", "fig14", "fig16"]
+)
+def test_rows_identical_across_schedules(figure):
+    serial_rows, serial_notes = figure(SweepExecutor(jobs=1))
+    fifo_rows, fifo_notes = figure(SweepExecutor(jobs=2, schedule="fifo"))
+    lpt_rows, lpt_notes = figure(SweepExecutor(jobs=2, schedule="lpt"))
+    assert fifo_rows == serial_rows
+    assert lpt_rows == serial_rows
+    assert fifo_notes == serial_notes
+    assert lpt_notes == serial_notes

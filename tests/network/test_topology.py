@@ -122,3 +122,55 @@ class TestPassthrough:
         topo.add_passthrough_chain("cpu", 0, [0, 1])
         with pytest.raises(RoutingError):
             topo.passthrough_chains["cpu"][0].index_of(3)
+
+
+class TestWarmDistStore:
+    """BFS distance tables are shared across same-shaped topologies."""
+
+    def test_same_shape_hits_store_and_tables_match(self):
+        from repro.network import topology as topo_mod
+
+        topo_mod.reset_dist_store()
+        a = line_topology(5)
+        first = [row[:] for row in a.dist]
+        assert topo_mod.dist_store_hits() == 0
+        b = line_topology(5)
+        assert b.dist == first
+        assert topo_mod.dist_store_hits() == 1
+        # Same stored table object: pure structure, safe to share.
+        assert b.dist is a.dist
+        topo_mod.reset_dist_store()
+
+    def test_different_shape_misses_store(self):
+        from repro.network import topology as topo_mod
+
+        topo_mod.reset_dist_store()
+        line_topology(4).dist
+        line_topology(5).dist
+        assert topo_mod.dist_store_hits() == 0
+        topo_mod.reset_dist_store()
+
+    def test_mutation_after_warm_hit_recomputes(self):
+        from repro.network import topology as topo_mod
+
+        topo_mod.reset_dist_store()
+        a = line_topology(4)
+        assert a.distance(0, 3) == 3
+        b = line_topology(4)
+        assert b.distance(0, 3) == 3  # warm hit
+        b.add_link(0, 3)  # invalidates b's tables; new structure key
+        assert b.distance(0, 3) == 1
+        assert a.distance(0, 3) == 3  # a's shared table untouched
+        topo_mod.reset_dist_store()
+
+    def test_next_hops_are_per_instance(self):
+        from repro.network import topology as topo_mod
+
+        topo_mod.reset_dist_store()
+        a = line_topology(3)
+        b = line_topology(3)
+        hops_a = a.minimal_next_hops(0, 2)
+        hops_b = b.minimal_next_hops(0, 2)
+        # Distances may be shared; Channel objects must never be.
+        assert hops_a[0][1] is not hops_b[0][1]
+        topo_mod.reset_dist_store()
