@@ -596,6 +596,19 @@ def analytic_run(
     """
     del seed, obs  # deterministic closed form; nothing to trace
     cfg = cfg or SystemConfig()
+    if cfg.hmc.scheduler != "frfcfs":
+        # SystemConfig.__post_init__ already rejects this combination;
+        # the guard backstops callers that hand-build an analytic run
+        # around the config (every coefficient was fitted against
+        # FR-FCFS packet rows, so any other policy's numbers would be
+        # silently wrong rather than merely approximate).
+        from ..hmc.sched import SCHEDULERS
+
+        raise ConfigError(
+            "the analytic tier is calibrated for FR-FCFS only and does "
+            f"not model scheduler {cfg.hmc.scheduler!r} "
+            f"(registered schedulers: {sorted(SCHEDULERS)})"
+        )
     if num_active_gpus is not None and not 1 <= num_active_gpus <= cfg.num_gpus:
         raise SimulationError(
             f"num_active_gpus={num_active_gpus} outside [1, {cfg.num_gpus}]"

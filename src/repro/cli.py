@@ -75,6 +75,7 @@ Observability flags (``run`` and every experiment subcommand):
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import shutil
 import sys
@@ -84,6 +85,7 @@ from typing import List, Optional
 
 from .config import NETWORK_MODELS
 from .errors import ConfigError, SimulationError, SweepError
+from .hmc.sched import SCHEDULERS
 from .exec import (
     SCHEDULES,
     ResultCache,
@@ -106,7 +108,16 @@ from .system.spec import SystemSpec, WorkloadRef
 from .workloads.suite import WORKLOAD_NAMES
 
 #: Experiments whose runner takes a ``scale`` parameter.
-_SCALED = {"fig10", "fig14", "fig16", "fig17", "fig18", "sec3b", "ext-mapping"}
+_SCALED = {
+    "fig10",
+    "fig14",
+    "fig16",
+    "fig17",
+    "fig18",
+    "sec3b",
+    "ext-mapping",
+    "ext-sched",
+}
 
 #: CLI commands whose bench record name differs from the command; keeps
 #: ``BENCH_*.json`` names aligned with the benchmark-harness modules
@@ -198,8 +209,31 @@ def _add_fidelity_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _scheduler(text: str) -> str:
+    """Validate ``--scheduler`` with the same message the config raises."""
+    if text not in SCHEDULERS:
+        raise argparse.ArgumentTypeError(
+            f"unknown scheduler {text!r}; valid: {sorted(SCHEDULERS)}"
+        )
+    return text
+
+
+def _add_scheduler_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        type=_scheduler,
+        default=None,
+        metavar="POLICY",
+        help="vault scheduling policy: "
+        + ", ".join(sorted(SCHEDULERS))
+        + " (default: frfcfs; rejected with --fidelity analytic, which "
+        "is FR-FCFS-calibrated only)",
+    )
+
+
 def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     _add_fidelity_flag(parser)
+    _add_scheduler_flag(parser)
     parser.add_argument(
         "--jobs",
         type=_positive_jobs,
@@ -312,6 +346,7 @@ def _install_perf_defaults(args, obs: Optional[Observability] = None):
             jobs = 1
     exec_runtime.set_default_jobs(jobs)
     exec_runtime.set_default_fidelity(getattr(args, "fidelity", None))
+    exec_runtime.set_default_scheduler(getattr(args, "scheduler", None))
     exec_runtime.set_default_schedule(getattr(args, "schedule", "lpt"))
     exec_runtime.set_default_prefilter(getattr(args, "prefilter", None))
     exec_runtime.set_default_keep_going(getattr(args, "keep_going", False))
@@ -403,6 +438,11 @@ def _run_experiment(
         for failure in exc.failures:
             print(failure.traceback, file=sys.stderr, end="")
         return 1
+    except ConfigError as exc:
+        # e.g. a non-default --scheduler combined with --fidelity analytic
+        # is rejected when the first job's config is constructed.
+        print(f"error: {name}: {exc}", file=sys.stderr)
+        return 2
     wall = time.time() - start
     print(result.render())
     jobs = exec_runtime.get_default_jobs() or 1
@@ -496,12 +536,21 @@ def _run_one(args) -> int:
     else:
         print("error: give a workload or --spec FILE.json", file=sys.stderr)
         return 2
-    if args.fidelity and spec.cfg.network_model != args.fidelity:
+    try:
+        cfg = spec.cfg
+        if args.fidelity and cfg.network_model != args.fidelity:
+            cfg = cfg.scaled(network_model=args.fidelity)
+        scheduler = getattr(args, "scheduler", None)
+        if scheduler and cfg.hmc.scheduler != scheduler:
+            cfg = cfg.scaled(
+                hmc=dataclasses.replace(cfg.hmc, scheduler=scheduler)
+            )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if cfg is not spec.cfg:
         spec = SystemSpec.make(
-            spec.arch,
-            spec.workload,
-            spec.cfg.scaled(network_model=args.fidelity),
-            **dict(spec.run_kwargs),
+            spec.arch, spec.workload, cfg, **dict(spec.run_kwargs)
         )
     if args.dump_spec:
         spec.save(args.dump_spec)
@@ -606,6 +655,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--timeseries is on)",
     )
     _add_fidelity_flag(p_run)
+    _add_scheduler_flag(p_run)
     _add_robustness_flags(p_run)
     _add_obs_flags(p_run)
 

@@ -156,6 +156,17 @@ class HMCConfig:
     #: reference flat-queue scan; both produce identical schedules (the
     #: identity tests in ``tests/exec`` hold that bar).
     frfcfs_fast_scan: bool = True
+    #: Vault scheduling policy, a key in :data:`repro.hmc.sched.SCHEDULERS`
+    #: ("frfcfs" is Table I's FR-FCFS; "fcfs", "frfcfs_cap", and
+    #: "qos_staged" are the shipped alternatives).  Part of the canonical
+    #: spec / cache identity: distinct policies never share cached rows.
+    scheduler: str = "frfcfs"
+    #: ``frfcfs_cap`` knob: consecutive grants to one (bank, row) before
+    #: the row-hit preference expires and the oldest request wins.
+    frfcfs_cap_streak: int = 4
+    #: ``qos_staged`` knob: per-source batch quantum within the
+    #: bandwidth (GPU) class.
+    qos_batch_quantum: int = 8
 
     @property
     def bytes_per_vault(self) -> int:
@@ -278,6 +289,25 @@ class SystemConfig:
                 f"unknown network model {self.network_model!r}; "
                 f"valid: {sorted(NETWORK_MODELS)}"
             )
+        if self.hmc.scheduler != "frfcfs":
+            # Imported lazily: repro.hmc pulls this module back in, and
+            # the default-configured path (DEFAULT_CONFIG at import time)
+            # must not recurse into it.
+            from .hmc.sched import SCHEDULERS
+
+            if self.hmc.scheduler not in SCHEDULERS:
+                raise ConfigError(
+                    f"unknown scheduler {self.hmc.scheduler!r}; "
+                    f"valid: {sorted(SCHEDULERS)}"
+                )
+            if self.network_model == "analytic":
+                raise ConfigError(
+                    "the analytic tier is calibrated for FR-FCFS only and "
+                    f"does not model scheduler {self.hmc.scheduler!r}; run "
+                    "it at an event-engine tier (--fidelity packet or "
+                    f"flit), or use scheduler 'frfcfs' "
+                    f"(registered schedulers: {sorted(SCHEDULERS)})"
+                )
 
     @property
     def num_gpu_hmcs(self) -> int:

@@ -85,6 +85,7 @@ from .runtime import (
     get_default_prefilter,
     get_default_progress,
     get_default_schedule,
+    get_default_scheduler,
     get_default_trace_dir,
     set_default_cache,
     set_default_costbook,
@@ -94,6 +95,7 @@ from .runtime import (
     set_default_prefilter,
     set_default_progress,
     set_default_schedule,
+    set_default_scheduler,
     set_default_trace_dir,
     sweep_defaults,
 )
@@ -131,6 +133,7 @@ __all__ = [
     "get_default_prefilter",
     "get_default_progress",
     "get_default_schedule",
+    "get_default_scheduler",
     "get_default_trace_dir",
     "job_fingerprint",
     "job_key",
@@ -148,6 +151,7 @@ __all__ = [
     "set_default_prefilter",
     "set_default_progress",
     "set_default_schedule",
+    "set_default_scheduler",
     "set_default_trace_dir",
     "shutdown_pool",
     "sweep_defaults",

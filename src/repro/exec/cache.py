@@ -40,7 +40,9 @@ from .jobs import SweepJob
 #: Bump when the cached payload's semantics or the fingerprint layout
 #: change (e.g. new RunResult fields with behavior-affecting defaults).
 #: 3: RunResult grew telemetry fields (peak_pending_events).
-CACHE_SCHEMA = 3
+#: 4: HMCConfig grew the vault-scheduler policy (spec identity) and
+#:    RunResult grew per-requester-class service aggregates.
+CACHE_SCHEMA = 4
 
 _code_digest: Optional[str] = None
 

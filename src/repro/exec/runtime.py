@@ -35,6 +35,7 @@ _default_keep_going: bool = False
 _default_progress: Optional[ProgressListener] = None
 _default_trace_dir: Optional[str] = None
 _default_fidelity: Optional[str] = None
+_default_scheduler: Optional[str] = None
 _default_schedule: str = "lpt"
 _default_prefilter: Optional[float] = None
 _default_costbook: object = _UNSET
@@ -123,6 +124,31 @@ def get_default_fidelity() -> Optional[str]:
     return _default_fidelity
 
 
+def set_default_scheduler(scheduler: Optional[str]) -> None:
+    """Install the default vault-scheduler policy (``--scheduler``).
+
+    ``None`` clears the override: every sweep point keeps the policy its
+    experiment's config asked for (normally ``"frfcfs"``).  A set policy
+    is applied by :func:`repro.experiments.common.job_for` to every job
+    built while it is installed — it *is* part of the spec identity, so
+    runs under different policies get distinct cache keys.
+    """
+    global _default_scheduler
+    if scheduler is not None:
+        from ..hmc.sched import SCHEDULERS
+
+        if scheduler not in SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {scheduler!r}; valid: {sorted(SCHEDULERS)}"
+            )
+    _default_scheduler = scheduler
+
+
+def get_default_scheduler() -> Optional[str]:
+    """The installed scheduler policy, or ``None`` (per-experiment config)."""
+    return _default_scheduler
+
+
 def set_default_schedule(schedule: str) -> None:
     """Install the pool submission order (the CLI's ``--schedule``)."""
     global _default_schedule
@@ -190,13 +216,15 @@ def sweep_defaults(
     progress: Optional[ProgressListener] = None,
     trace_dir: Optional[str] = None,
     fidelity: Optional[str] = None,
+    scheduler: Optional[str] = None,
     schedule: str = "lpt",
     prefilter: Optional[float] = None,
 ):
     """Scope executor defaults to a ``with`` block (tests, notebooks)."""
     global _default_jobs, _default_cache, _default_keep_going
     global _default_progress, _default_trace_dir, _default_fidelity
-    global _default_schedule, _default_prefilter, _default_costbook
+    global _default_scheduler, _default_schedule, _default_prefilter
+    global _default_costbook
     prev = (
         _default_jobs,
         _default_cache,
@@ -204,6 +232,7 @@ def sweep_defaults(
         _default_progress,
         _default_trace_dir,
         _default_fidelity,
+        _default_scheduler,
         _default_schedule,
         _default_prefilter,
         _default_costbook,
@@ -214,6 +243,7 @@ def sweep_defaults(
     _default_progress = progress
     _default_trace_dir = trace_dir
     set_default_fidelity(fidelity)
+    set_default_scheduler(scheduler)
     set_default_schedule(schedule)
     set_default_prefilter(prefilter)
     # The CostBook rides with the cache: scoping a different cache must
@@ -229,6 +259,7 @@ def sweep_defaults(
             _default_progress,
             _default_trace_dir,
             _default_fidelity,
+            _default_scheduler,
             _default_schedule,
             _default_prefilter,
             _default_costbook,

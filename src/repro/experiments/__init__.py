@@ -14,6 +14,7 @@ from . import (
     ext_latency_load,
     ext_mapping,
     ext_pcn,
+    ext_sched,
     ext_sensitivity,
     fig07_remote_access,
     fig10_traffic,
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-pcn": ext_pcn.run,
     "ext-flit": ext_flit_validation.run,
     "ext-sensitivity": ext_sensitivity.run,
+    "ext-sched": ext_sched.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

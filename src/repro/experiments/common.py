@@ -4,6 +4,7 @@ sweep-job construction from canonical specs."""
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from dataclasses import dataclass, field
@@ -13,7 +14,11 @@ from ..config import SystemConfig
 from ..exec.executor import SweepExecutor
 from ..exec.jobs import JobFailure, SweepJob
 from ..exec.planner import prefilter_jobs
-from ..exec.runtime import get_default_fidelity, get_default_prefilter
+from ..exec.runtime import (
+    get_default_fidelity,
+    get_default_prefilter,
+    get_default_scheduler,
+)
 from ..obs.telemetry import JobTelemetry, flight_summary
 from ..system.configs import ArchSpec, get_spec
 from ..system.metrics import RunResult
@@ -170,7 +175,11 @@ def job_for(
     ``sweep_defaults(fidelity=...)``) overrides the config's
     ``network_model`` here — the single choke point every experiment's
     jobs flow through — so a whole figure can be re-run at another tier
-    without the runner knowing.
+    without the runner knowing.  An installed vault-scheduler default
+    (``--scheduler`` / ``sweep_defaults(scheduler=...)``) overrides
+    ``hmc.scheduler`` the same way; combining it with the analytic tier
+    raises :class:`~repro.errors.ConfigError` at construction (the
+    analytic model is FR-FCFS-calibrated only).
     """
     if isinstance(arch, str):
         arch = get_spec(arch)
@@ -181,6 +190,15 @@ def job_for(
         base = cfg if cfg is not None else SystemConfig()
         if base.network_model != fidelity:
             cfg = base.scaled(network_model=fidelity)
+        else:
+            cfg = base
+    scheduler = get_default_scheduler()
+    if scheduler is not None:
+        base = cfg if cfg is not None else SystemConfig()
+        if base.hmc.scheduler != scheduler:
+            cfg = base.scaled(
+                hmc=dataclasses.replace(base.hmc, scheduler=scheduler)
+            )
         else:
             cfg = base
     return SweepJob(

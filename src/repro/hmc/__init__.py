@@ -1,7 +1,14 @@
-"""Hybrid Memory Cube substrate: DRAM banks, FR-FCFS vaults, the HMC device."""
+"""Hybrid Memory Cube substrate: DRAM banks, scheduled vaults, the HMC device."""
 
 from .dram import Bank, BankStats, RowOutcome
 from .hmc import HMC, HMCStats
+from .sched import (
+    SCHEDULERS,
+    VaultScheduler,
+    register_scheduler,
+    requester_class,
+    scheduler_for,
+)
 from .vault import ATOMIC_ALU_PS, Vault, VaultStats
 
 __all__ = [
@@ -11,6 +18,11 @@ __all__ = [
     "HMC",
     "HMCStats",
     "ATOMIC_ALU_PS",
+    "SCHEDULERS",
     "Vault",
+    "VaultScheduler",
     "VaultStats",
+    "register_scheduler",
+    "requester_class",
+    "scheduler_for",
 ]

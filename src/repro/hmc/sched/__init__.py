@@ -1,0 +1,72 @@
+"""Pluggable vault request schedulers.
+
+The registry maps a policy name (the value of ``HMCConfig.scheduler``)
+to the :class:`~.base.VaultScheduler` strategy that implements it,
+exactly as :data:`repro.system.fabric.FABRICS` maps organizations to
+fabrics.  The vault looks its policy up here at construction, so adding
+a policy is a new module plus one :func:`register_scheduler` call — no
+vault edits (see docs/extending.md for a walkthrough).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ...errors import ConfigError
+from .base import (
+    BankState,
+    FlatQueueScheduler,
+    QueuedRequest,
+    VaultScheduler,
+    requester_class,
+)
+from .fcfs import FCFSScheduler
+from .frfcfs import FRFCFSScheduler
+from .frfcfs_cap import FRFCFSCapScheduler
+from .qos import QoSStagedScheduler
+
+#: Policy name -> scheduler strategy class.
+SCHEDULERS: Dict[str, Type[VaultScheduler]] = {}
+
+
+def register_scheduler(name: str, scheduler_cls: Type[VaultScheduler]) -> None:
+    """Register ``scheduler_cls`` as the policy behind ``name``."""
+    existing = SCHEDULERS.get(name)
+    if existing is not None and existing is not scheduler_cls:
+        raise ConfigError(
+            f"scheduler {name!r} already registered as "
+            f"{existing.__name__}; refusing to overwrite with "
+            f"{scheduler_cls.__name__}"
+        )
+    SCHEDULERS[name] = scheduler_cls
+
+
+def scheduler_for(name: str) -> Type[VaultScheduler]:
+    """Look up the scheduler strategy class for a policy name."""
+    try:
+        return SCHEDULERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; valid: {sorted(SCHEDULERS)}"
+        ) from None
+
+
+register_scheduler("frfcfs", FRFCFSScheduler)
+register_scheduler("fcfs", FCFSScheduler)
+register_scheduler("frfcfs_cap", FRFCFSCapScheduler)
+register_scheduler("qos_staged", QoSStagedScheduler)
+
+__all__ = [
+    "SCHEDULERS",
+    "BankState",
+    "FlatQueueScheduler",
+    "QueuedRequest",
+    "VaultScheduler",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "FRFCFSCapScheduler",
+    "QoSStagedScheduler",
+    "register_scheduler",
+    "requester_class",
+    "scheduler_for",
+]

@@ -1,0 +1,24 @@
+"""FCFS: strict arrival order among ready banks, no row-hit preference.
+
+The classic baseline FR-FCFS is measured against: the oldest request
+whose bank can accept an issue goes first, even when a younger request
+would hit an open row.  Row locality still helps (the row buffer is not
+bypassed), it just never reorders service — so FCFS trades row-hit rate
+for age fairness and gives sweeps a lower anchor for what scheduling
+buys.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import FlatQueueScheduler, QueuedRequest
+
+
+class FCFSScheduler(FlatQueueScheduler):
+    """Oldest-ready-first, ignoring open-row state."""
+
+    name = "fcfs"
+
+    def key(self, req: QueuedRequest, is_hit: int, idx: int) -> Tuple[int, int]:
+        return (req.arrived_ps, idx)

@@ -1,0 +1,52 @@
+"""FR-FCFS with a per-bank row-streak cap to bound starvation.
+
+Plain FR-FCFS serves an unbounded run of row hits before an older
+row-conflict request; a bank with a streaming hitter can starve a
+conflicting requester indefinitely.  This policy counts consecutive
+grants to the same (bank, row); once the streak reaches
+``HMCConfig.frfcfs_cap_streak``, further hits on that row lose their
+priority boost (they are keyed as conflicts), so the oldest request wins
+and the row eventually turns over.  Issuing any other row on the bank
+resets its streak.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from .base import FlatQueueScheduler, QueuedRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...config import HMCConfig
+
+
+class FRFCFSCapScheduler(FlatQueueScheduler):
+    """FR-FCFS whose row-hit preference expires after a streak cap."""
+
+    name = "frfcfs_cap"
+
+    def __init__(self, cfg: "HMCConfig") -> None:
+        super().__init__(cfg)
+        self.cap = cfg.frfcfs_cap_streak
+        #: bank id -> [row, consecutive grants to that row].
+        self._streak: Dict[int, List[int]] = {}
+
+    def key(self, req: QueuedRequest, is_hit: int, idx: int) -> Tuple[int, int, int]:
+        if is_hit == 0:
+            decoded = req.access.decoded
+            streak = self._streak.get(decoded.bank)
+            if (
+                streak is not None
+                and streak[0] == decoded.row
+                and streak[1] >= self.cap
+            ):
+                is_hit = 1  # streak exhausted: no more priority for this row
+        return (is_hit, req.arrived_ps, idx)
+
+    def on_issue(self, req: QueuedRequest, was_hit: bool) -> None:
+        decoded = req.access.decoded
+        streak = self._streak.get(decoded.bank)
+        if streak is not None and streak[0] == decoded.row:
+            streak[1] += 1
+        else:
+            self._streak[decoded.bank] = [decoded.row, 1]

@@ -1,0 +1,74 @@
+"""Staged source-aware QoS policy for heterogeneous CPU+GPU traffic.
+
+After the staged memory scheduler of Ausavarungnirun et al. ("Staged
+Memory Scheduling", ISCA 2012): in a system where a latency-bound CPU
+host and bandwidth-bound GPU streams share the memory network, treating
+every request equally lets the GPUs' deep request streams crowd out the
+CPU's sparse pointer-chasing loads — exactly the contention the UMN/CMN
+organizations create at shared HMCs.
+
+Two staged rules on top of FR-FCFS:
+
+1. **Class priority** — requests classify by
+   :func:`~repro.hmc.sched.base.requester_class` of
+   ``MemoryAccess.requester``: the "cpu" class (latency-bound) always
+   outranks "gpu" (bandwidth-bound), which outranks "other".
+2. **Per-source batching** — within the bandwidth class, the scheduler
+   keeps draining the GPU it is currently serving for up to
+   ``HMCConfig.qos_batch_quantum`` grants before competing sources are
+   reconsidered, preserving each stream's row locality instead of
+   fine-grain interleaving all of them (the staged scheduler's batch
+   formation, collapsed to the vault queue's scale).
+
+Within a class (and batch preference) the order is plain FR-FCFS, so the
+policy degenerates to the default when only one source is active.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from .base import FlatQueueScheduler, QueuedRequest, requester_class
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...config import HMCConfig
+
+#: Lower rank issues first: CPU latency class ahead of GPU bandwidth
+#: streams, unknown sources last.
+CLASS_RANK = {"cpu": 0, "gpu": 1, "other": 2}
+
+
+class QoSStagedScheduler(FlatQueueScheduler):
+    """CPU-priority, per-source-batched FR-FCFS (staged QoS)."""
+
+    name = "qos_staged"
+
+    def __init__(self, cfg: "HMCConfig") -> None:
+        super().__init__(cfg)
+        self.quantum = cfg.qos_batch_quantum
+        self._batch_source: Optional[str] = None
+        self._batch_left = 0
+
+    def key(
+        self, req: QueuedRequest, is_hit: int, idx: int
+    ) -> Tuple[int, int, int, int, int]:
+        requester = req.access.requester
+        rank = CLASS_RANK.get(requester_class(requester), 2)
+        in_batch = (
+            0
+            if rank == 1
+            and self._batch_left > 0
+            and requester == self._batch_source
+            else 1
+        )
+        return (rank, in_batch, is_hit, req.arrived_ps, idx)
+
+    def on_issue(self, req: QueuedRequest, was_hit: bool) -> None:
+        requester = req.access.requester
+        if requester_class(requester) != "gpu":
+            return  # batching applies to the bandwidth class only
+        if requester == self._batch_source and self._batch_left > 0:
+            self._batch_left -= 1
+        else:
+            self._batch_source = requester
+            self._batch_left = self.quantum - 1

@@ -1,43 +1,31 @@
-"""Vault controller: FR-FCFS scheduling over the vault's DRAM banks.
+"""Vault controller: pluggable scheduling over the vault's DRAM banks.
 
-Each vault has a bounded request queue (Table I: 16 entries, FR-FCFS [48]);
-when the queue is full, arriving requests wait in the logic-layer overflow
-buffer and are admitted as entries free up.  The scheduler prefers row hits
-(first-ready) and breaks ties by age (first-come-first-served).
+Each vault has a bounded request queue (Table I: 16 entries, FR-FCFS
+[48]); when the queue is full, arriving requests wait in the logic-layer
+overflow buffer and are admitted as entries free up.  *Which* queued
+request issues next is delegated to a :class:`~repro.hmc.sched.base.
+VaultScheduler` strategy selected by ``HMCConfig.scheduler`` (default
+FR-FCFS: row hits first, ties broken by age); the vault itself owns the
+overflow buffer, the shared data bus, DRAM timing, and statistics.
 """
 
 from __future__ import annotations
 
 import collections
-import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..config import HMCConfig
 from ..errors import SimulationError
 from ..mem import AccessType, MemoryAccess
 from ..sim.engine import Simulator
 from .dram import Bank
-
-CompletionCallback = Callable[[MemoryAccess], None]
+from .sched import scheduler_for
+from .sched.base import CompletionCallback, QueuedRequest, requester_class
 
 #: Extra latency charged for the logic-layer ALU of an atomic operation.
 ATOMIC_ALU_PS = 2_500
-
-_DATACLASS_OPTS = {"slots": True} if sys.version_info >= (3, 10) else {}
-
-
-@dataclass(**_DATACLASS_OPTS)
-class _QueuedRequest:
-    access: MemoryAccess
-    on_done: CompletionCallback
-    arrived_ps: int
-    #: Admission order within the vault.  The queue preserves admission
-    #: order, so sorting by ``seq`` is identical to sorting by queue index
-    #: — which lets the bucketed fast path reproduce the flat scan's
-    #: FR-FCFS tie-break exactly.
-    seq: int = 0
 
 
 @dataclass
@@ -48,10 +36,16 @@ class VaultStats:
     total_queue_wait_ps: int = 0
     total_service_ps: int = 0
     overflow_peak: int = 0
+    #: Per requester class ("cpu"/"gpu"/"other", see
+    #: :func:`repro.hmc.sched.requester_class`): served request counts and
+    #: summed queue waits, the inputs to per-source latency and fairness
+    #: columns in scheduler sweeps.
+    class_served: Dict[str, int] = field(default_factory=dict)
+    class_queue_wait_ps: Dict[str, int] = field(default_factory=dict)
 
 
 class Vault:
-    """One vault: banks + a shared data bus + an FR-FCFS request queue."""
+    """One vault: banks + a shared data bus + a scheduled request queue."""
 
     def __init__(
         self,
@@ -67,16 +61,11 @@ class Vault:
         #: Banks are built on first access: most vaults in a sweep never
         #: see traffic, and eager construction dominated system build time.
         self._banks: Optional[List[Bank]] = None
-        self.queue: List[_QueuedRequest] = []
-        self.overflow: Deque[_QueuedRequest] = collections.deque()
+        self.sched = scheduler_for(cfg.scheduler)(cfg)
+        self.overflow: Deque[QueuedRequest] = collections.deque()
         self.bus_busy_until: int = 0
         self.stats = VaultStats()
         self._kick_at: Optional[int] = None
-        self._fast = cfg.frfcfs_fast_scan
-        #: Fast path: requests bucketed per bank, each bucket in admission
-        #: order; ``_queue_len`` tracks admitted entries across buckets.
-        self._buckets: Dict[int, List[_QueuedRequest]] = {}
-        self._queue_len = 0
         self._next_seq = 0
 
     @property
@@ -90,31 +79,17 @@ class Vault:
         """Accept a request; it is queued (or buffered on overflow)."""
         if access.decoded is None:
             raise SimulationError("memory access reached a vault without decode")
-        req = _QueuedRequest(access, on_done, self.sim.now, self._next_seq)
+        req = QueuedRequest(access, on_done, self.sim.now, self._next_seq)
         self._next_seq += 1
-        if self._queued_count() < self.cfg.vault_queue_entries:
-            self._admit(req)
+        if len(self.sched) < self.cfg.vault_queue_entries:
+            self.sched.admit(req)
         else:
             self.overflow.append(req)
             self.stats.overflow_peak = max(self.stats.overflow_peak, len(self.overflow))
         self._schedule_kick(self.sim.now)
 
-    def _queued_count(self) -> int:
-        return self._queue_len if self._fast else len(self.queue)
-
-    def _admit(self, req: _QueuedRequest) -> None:
-        if self._fast:
-            bank = req.access.decoded.bank
-            bucket = self._buckets.get(bank)
-            if bucket is None:
-                bucket = self._buckets[bank] = []
-            bucket.append(req)
-            self._queue_len += 1
-        else:
-            self.queue.append(req)
-
     # ------------------------------------------------------------------
-    # FR-FCFS scheduling
+    # Issue loop (policy-agnostic; selection lives in self.sched)
     # ------------------------------------------------------------------
     def _schedule_kick(self, when_ps: int) -> None:
         when_ps = max(when_ps, self.sim.now)
@@ -130,117 +105,25 @@ class Vault:
         # issue loop and a bank's readiness/open row only changes when this
         # loop issues to it, so (ready, open_row) is computed once per bank
         # per kick instead of once per candidate per issue iteration, and
-        # refreshed only for the bank that was just issued to.
+        # refreshed only for the bank that was just issued to (the
+        # scheduler drops the issued bank's entry on every pick).
         bank_state: Dict[int, Tuple[bool, Optional[int]]] = {}
-        if self._fast:
-            progressed = True
-            while progressed and self._queue_len:
-                progressed = self._try_issue_fast(bank_state)
-        else:
-            progressed = True
-            while progressed and self.queue:
-                progressed = self._try_issue(bank_state)
+        sched = self.sched
+        while len(sched):
+            req = sched.pick(bank_state, self.sim.now, self.banks)
+            if req is None:
+                break
+            self._service(req)
         self._drain_overflow()
-        if self._fast:
-            if self._queue_len:
-                now = self.sim.now
-                banks = self.banks
-                horizon = min(
-                    banks[bank_id].ready_at
-                    for bank_id, bucket in self._buckets.items()
-                    if bucket
-                )
-                self._schedule_kick(max(horizon, now + 1))
-        elif self.queue:
-            horizon = min(
-                self.banks[req.access.decoded.bank].earliest_issue(self.sim.now)
-                for req in self.queue
-            )
+        if len(sched):
+            horizon = sched.horizon(self.sim.now, self.banks)
             self._schedule_kick(max(horizon, self.sim.now + 1))
 
     def _drain_overflow(self) -> None:
-        while self.overflow and self._queued_count() < self.cfg.vault_queue_entries:
-            self._admit(self.overflow.popleft())
+        while self.overflow and len(self.sched) < self.cfg.vault_queue_entries:
+            self.sched.admit(self.overflow.popleft())
 
-    def _try_issue(self, bank_state: Dict[int, Tuple[bool, Optional[int]]]) -> bool:
-        """Issue the FR-FCFS-preferred request if one is ready now.
-
-        ``bank_state`` caches ``(ready_now, open_row)`` per bank for the
-        duration of one kick; an entry is dropped (and lazily recomputed)
-        when a request is issued to that bank.
-        """
-        now = self.sim.now
-        banks = self.banks
-        best_idx: Optional[int] = None
-        best_key: Optional[Tuple[int, int, int]] = None
-        for idx, req in enumerate(self.queue):
-            decoded = req.access.decoded
-            state = bank_state.get(decoded.bank)
-            if state is None:
-                bank = banks[decoded.bank]
-                state = (bank.earliest_issue(now) <= now, bank.open_row)
-                bank_state[decoded.bank] = state
-            if not state[0]:
-                continue
-            is_hit = 0 if state[1] == decoded.row else 1
-            key = (is_hit, req.arrived_ps, idx)
-            if best_key is None or key < best_key:
-                best_key, best_idx = key, idx
-        if best_idx is None:
-            return False
-        req = self.queue.pop(best_idx)
-        bank_state.pop(req.access.decoded.bank, None)
-        self._service(req)
-        return True
-
-    def _try_issue_fast(self, bank_state: Dict[int, Tuple[bool, Optional[int]]]) -> bool:
-        """Bucketed FR-FCFS issue: equivalent to :meth:`_try_issue`.
-
-        Within one bank the flat scan's best candidate is the oldest row
-        hit, or the oldest request if none hits (the key is hits-first,
-        then admission order, and each bucket preserves admission order).
-        The cross-bank winner is picked by the same ``(is_hit, arrived_ps,
-        seq)`` key; ``seq`` orders identically to the flat queue index.
-        Not-ready banks are skipped without touching their requests, so a
-        drain is linear in queue length instead of quadratic.
-        """
-        now = self.sim.now
-        banks = self.banks
-        best_req: Optional[_QueuedRequest] = None
-        best_key: Optional[Tuple[int, int, int]] = None
-        best_bank = -1
-        for bank_id, bucket in self._buckets.items():
-            if not bucket:
-                continue
-            state = bank_state.get(bank_id)
-            if state is None:
-                bank = banks[bank_id]
-                state = (bank.ready_at <= now, bank.open_row)
-                bank_state[bank_id] = state
-            if not state[0]:
-                continue
-            open_row = state[1]
-            cand = None
-            for req in bucket:
-                if req.access.decoded.row == open_row:
-                    cand = req
-                    is_hit = 0
-                    break
-            if cand is None:
-                cand = bucket[0]
-                is_hit = 1
-            key = (is_hit, cand.arrived_ps, cand.seq)
-            if best_key is None or key < best_key:
-                best_key, best_req, best_bank = key, cand, bank_id
-        if best_req is None:
-            return False
-        self._buckets[best_bank].remove(best_req)
-        self._queue_len -= 1
-        bank_state.pop(best_bank, None)
-        self._service(best_req)
-        return True
-
-    def _service(self, req: _QueuedRequest) -> None:
+    def _service(self, req: QueuedRequest) -> None:
         access = req.access
         decoded = access.decoded
         now = self.sim.now
@@ -248,6 +131,7 @@ class Vault:
         bank = self.banks[decoded.bank]
         was_hit = bank.open_row == decoded.row
         data_done = bank.access(decoded.row, access.type, now, timing)
+        self.sched.on_issue(req, was_hit)
         stats = self.stats
         if access.type is AccessType.ATOMIC:
             data_done += ATOMIC_ALU_PS
@@ -265,8 +149,14 @@ class Vault:
         stats.served += 1
         if was_hit:
             stats.row_hits += 1
-        stats.total_queue_wait_ps += now - req.arrived_ps
+        wait_ps = now - req.arrived_ps
+        stats.total_queue_wait_ps += wait_ps
         stats.total_service_ps += done - now
+        cls = requester_class(access.requester)
+        stats.class_served[cls] = stats.class_served.get(cls, 0) + 1
+        stats.class_queue_wait_ps[cls] = (
+            stats.class_queue_wait_ps.get(cls, 0) + wait_ps
+        )
 
         tracer = self.sim.tracer
         if tracer is not None:
@@ -287,7 +177,7 @@ class Vault:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return self._queued_count() + len(self.overflow)
+        return len(self.sched) + len(self.overflow)
 
     @property
     def row_hit_rate(self) -> float:

@@ -67,6 +67,29 @@ def register_system_metrics(registry: MetricRegistry, system) -> None:
                 f"{h}.vault{vault.vault_id}.queue_depth",
                 fn=lambda v=vault: v.occupancy,
             )
+            registry.gauge(
+                f"{h}.vault{vault.vault_id}.overflow_peak",
+                fn=lambda v=vault: v.stats.overflow_peak,
+            )
+            registry.gauge(
+                f"{h}.vault{vault.vault_id}.queue_wait_ps",
+                fn=lambda v=vault: v.stats.total_queue_wait_ps,
+            )
+        # Per requester class (QoS policies): how much service and queue
+        # wait each traffic source class accumulated at this cube.
+        for cls in ("cpu", "gpu", "other"):
+            registry.gauge(
+                f"{h}.class.{cls}.served",
+                fn=lambda hh=hmc, c=cls: sum(
+                    v.stats.class_served.get(c, 0) for v in hh.vaults
+                ),
+            )
+            registry.gauge(
+                f"{h}.class.{cls}.queue_wait_ps",
+                fn=lambda hh=hmc, c=cls: sum(
+                    v.stats.class_queue_wait_ps.get(c, 0) for v in hh.vaults
+                ),
+            )
 
     if system.network is not None:
         stats = system.network.stats
@@ -95,6 +118,14 @@ def install_default_probes(sampler: Sampler, system) -> None:
     sampler.add(
         "vault.queue_depth.max",
         lambda: max((v.occupancy for v in vaults), default=0),
+    )
+    sampler.add(
+        "vault.overflow_peak.max",
+        lambda: max((v.stats.overflow_peak for v in vaults), default=0),
+    )
+    sampler.add_delta(
+        "vault.queue_wait.ps_per_window",
+        lambda: sum(v.stats.total_queue_wait_ps for v in vaults),
     )
     sampler.add(
         "gpu.resident_ctas",

@@ -37,6 +37,12 @@ class RunResult:
     l2_hit_rate: float = 0.0
     hmc_row_hit_rate: float = 0.0
     memory_requests: int = 0
+    #: Per requester class ("cpu"/"gpu"/"other"): vault-served request
+    #: counts and summed queue waits, aggregated over every vault.  Feeds
+    #: the scheduler sweep's per-source latency and fairness columns;
+    #: never part of :meth:`as_row` (figure rows stay policy-agnostic).
+    class_served: Dict[str, int] = field(default_factory=dict)
+    class_queue_wait_ps: Dict[str, int] = field(default_factory=dict)
 
     # Energy (network organizations only)
     energy: Optional[EnergyBreakdown] = None
@@ -59,6 +65,13 @@ class RunResult:
         if self.runtime_ps == 0:
             raise ZeroDivisionError("runtime is zero")
         return baseline.runtime_ps / self.runtime_ps
+
+    def avg_class_wait_ps(self, cls: str) -> float:
+        """Mean vault queue wait of one requester class (0.0 if unseen)."""
+        served = self.class_served.get(cls, 0)
+        if not served:
+            return 0.0
+        return self.class_queue_wait_ps.get(cls, 0) / served
 
     def as_row(self) -> Dict[str, object]:
         """Flat dict for tabular reporting."""

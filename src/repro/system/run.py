@@ -218,6 +218,16 @@ def _collect(
         v.stats.row_hits for h in system.hmc_list for v in h.vaults
     )
     result.hmc_row_hit_rate = hits / served if served else 0.0
+    for h in system.hmc_list:
+        for v in h.vaults:
+            for cls, count in v.stats.class_served.items():
+                result.class_served[cls] = (
+                    result.class_served.get(cls, 0) + count
+                )
+            for cls, wait in v.stats.class_queue_wait_ps.items():
+                result.class_queue_wait_ps[cls] = (
+                    result.class_queue_wait_ps.get(cls, 0) + wait
+                )
 
     if system.network is not None:
         stats = system.network.stats

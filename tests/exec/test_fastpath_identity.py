@@ -11,6 +11,8 @@ topologies (fig16), and for both minimal and adaptive routing.
 from __future__ import annotations
 
 import dataclasses
+import json
+from pathlib import Path
 
 from repro.experiments import (
     fig07_remote_access,
@@ -86,3 +88,48 @@ def test_umn_overlay_adaptive_identical():
         for fast in (True, False)
     ]
     assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
+
+
+# ---------------------------------------------------------------------------
+# Committed references: the default-policy rows are pinned to files generated
+# before the scheduler registry existed, so any refactor of the vault
+# scheduling path (not just a fast/flat divergence) shows up as a byte diff.
+REFERENCE_DIR = Path(__file__).resolve().parent.parent / "data" / "sched_reference"
+
+
+def _serialize(result) -> str:
+    payload = {"rows": result.rows, "notes": result.notes}
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _check_committed(run_fn, name: str, num_gpus: int = 2):
+    reference = (REFERENCE_DIR / f"{name}.json").read_text()
+    for fast in (True, False):
+        got = _serialize(run_fn(_cfg(fast=fast, num_gpus=num_gpus)))
+        variant = "fast" if fast else "flat"
+        assert got == reference, (
+            f"{name} ({variant} scan) drifted from the committed "
+            f"pre-registry reference rows"
+        )
+
+
+def test_fig14_matches_committed_reference():
+    _check_committed(
+        lambda cfg: fig14_organizations.run(scale=SCALE, workloads=WORKLOADS, cfg=cfg),
+        "fig14",
+    )
+
+
+def test_fig07_matches_committed_reference():
+    _check_committed(
+        lambda cfg: fig07_remote_access.run(num_ctas=16, lines_per_cta=4, cfg=cfg),
+        "fig07",
+        num_gpus=4,
+    )
+
+
+def test_fig16_matches_committed_reference():
+    _check_committed(
+        lambda cfg: fig16_fig17_topologies.run(scale=SCALE, workloads=("VEC",), cfg=cfg),
+        "fig16",
+    )

@@ -62,6 +62,42 @@ def test_run_kwargs_change_key():
     assert job_key(_job()) != job_key(_job(placement_policy="first_touch"))
 
 
+def _with_scheduler(cfg, policy):
+    return dataclasses.replace(
+        cfg, hmc=dataclasses.replace(cfg.hmc, scheduler=policy)
+    )
+
+
+def test_scheduler_change_changes_key():
+    cfg = tiny_system_config()
+    default = _job(cfg=cfg)
+    keys = {job_key(default)}
+    for policy in ("fcfs", "frfcfs_cap", "qos_staged"):
+        keys.add(job_key(_job(cfg=_with_scheduler(cfg, policy))))
+    assert len(keys) == 4  # every policy gets its own identity
+
+
+def test_scheduler_is_in_the_fingerprint():
+    cfg = tiny_system_config()
+    fp = job_fingerprint(_job(cfg=_with_scheduler(cfg, "qos_staged")))
+    assert fp["system"]["cfg"]["hmc"]["scheduler"] == "qos_staged"
+    assert job_fingerprint(_job(cfg=cfg))["system"]["cfg"]["hmc"]["scheduler"] == (
+        "frfcfs"
+    )
+
+
+def test_scheduler_never_cross_hits_the_cache():
+    cfg = tiny_system_config()
+    frfcfs_job = _job(cfg=cfg)
+    fcfs_job = _job(cfg=_with_scheduler(cfg, "fcfs"))
+    cache = ResultCache()
+    result = RunResult(workload="KMN", arch="GMN")
+    result.kernel_ps = 999
+    cache.put(frfcfs_job, result)
+    assert cache.get(fcfs_job) is None  # must recompute, not reuse
+    assert cache.get(frfcfs_job).kernel_ps == 999
+
+
 def test_tag_is_not_part_of_identity():
     assert job_key(_job(tag="a")) == job_key(_job(tag="b"))
 

@@ -112,6 +112,23 @@ def test_sweep_defaults_scopes_executor():
     assert default_executor().cache is not cache
 
 
+def test_sweep_defaults_scopes_scheduler():
+    from repro.errors import ConfigError
+    from repro.exec.runtime import get_default_scheduler, set_default_scheduler
+    from repro.experiments.common import job_for
+
+    assert get_default_scheduler() is None
+    with sweep_defaults(scheduler="qos_staged"):
+        assert get_default_scheduler() == "qos_staged"
+        job = job_for("GMN", WorkloadRef("VEC", 0.05))
+        assert job.cfg.hmc.scheduler == "qos_staged"
+    assert get_default_scheduler() is None
+    assert job_for("GMN", WorkloadRef("VEC", 0.05)).cfg.hmc.scheduler == "frfcfs"
+
+    with pytest.raises(ConfigError, match="unknown scheduler"):
+        set_default_scheduler("bogus")
+
+
 def test_workload_ref_factory_roundtrip():
     ref = WorkloadRef(
         "vectoradd",
