@@ -90,6 +90,7 @@ from .exec import (
     SCHEDULES,
     ResultCache,
     auto_jobs,
+    cache_max_mb_from_env,
     jobs_from_env,
     pool_spawns,
     process_cache_stats,
@@ -356,7 +357,9 @@ def _install_perf_defaults(args, obs: Optional[Observability] = None):
     )
     cache_arg = getattr(args, "cache", None)
     if cache_arg is not None:
-        exec_runtime.set_default_cache(ResultCache(cache_arg or None))
+        exec_runtime.set_default_cache(
+            ResultCache(cache_arg or None, max_mb=cache_max_mb_from_env())
+        )
     watchdog.set_default_limits(
         getattr(args, "max_events", None), getattr(args, "wall_limit", None)
     )
@@ -659,35 +662,194 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_robustness_flags(p_run)
     _add_obs_flags(p_run)
 
+    def _add_address_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help="Unix socket the server listens on (default: "
+            "REPRO_SERVE_SOCKET or ./repro-serve.sock)",
+        )
+        p.add_argument(
+            "--port",
+            type=int,
+            default=None,
+            metavar="N",
+            help="loopback TCP port instead of a Unix socket",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a long-lived sweep server (submit jobs with "
+        "`repro submit`; see docs/serving.md)",
+    )
+    _add_address_flags(p_serve)
+    p_serve.add_argument(
+        "--jobs",
+        type=_positive_jobs,
+        default=None,
+        metavar="N",
+        help="worker processes for the shared pool (default: REPRO_JOBS "
+        "or 1; 'auto' = cpu_count-1)",
+    )
+    p_serve.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max concurrently *running* jobs per client; submissions "
+        "past the quota queue up rather than being rejected (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="persist the result cache under DIR (default: memory-only)",
+    )
+    p_serve.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size cap for the result cache with LRU eviction; 0 "
+        "disables (default: REPRO_CACHE_MAX_MB or 512 — a daemon's "
+        "cache grows without bound otherwise)",
+    )
+    p_serve.add_argument(
+        "--drain-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="grace period for running jobs on shutdown before the pool "
+        "is terminated (their results are salvaged into the cache; "
+        "default 5)",
+    )
+    _add_robustness_flags(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit canonical SystemSpec JSON files to a running server",
+    )
+    p_submit.add_argument(
+        "specs",
+        nargs="+",
+        metavar="SPEC.json",
+        help="spec files (each one object or a list of objects; '-' "
+        "reads stdin) — produce them with `repro run ... --dump-spec`",
+    )
+    _add_address_flags(p_submit)
+    p_submit.add_argument(
+        "--client",
+        default="cli",
+        metavar="NAME",
+        help="client name for the per-client concurrency quota",
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="P",
+        help="queue priority (lower dispatches first; default 0)",
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="enqueue and exit without streaming results (cancel later "
+        "with the printed request_id)",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="socket timeout in seconds (default: none)",
+    )
+
+    p_status = sub.add_parser("status", help="query a running sweep server")
+    _add_address_flags(p_status)
+    p_status.add_argument("--timeout", type=float, default=10.0, metavar="S")
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a submission on a running sweep server"
+    )
+    p_cancel.add_argument(
+        "request_id",
+        help="the request id from the submission's 'accepted' event",
+    )
+    _add_address_flags(p_cancel)
+    p_cancel.add_argument("--timeout", type=float, default=10.0, metavar="S")
+
     args = parser.parse_args(argv)
 
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-sweep: terminate the warm pool's workers outright
+        # (a graceful shutdown would wait for their current — possibly
+        # minutes-long — simulations) and report what survived.  Every
+        # point that completed before the interrupt was already salvaged
+        # into the cache by the executor's cache-as-it-lands rule.
+        shutdown_pool(kill=True)
+        print(
+            "\ninterrupted: worker pool terminated; completed sweep "
+            "points remain salvaged in the cache",
+            file=sys.stderr,
+        )
+        return 130
+
+
+def _dispatch(args) -> int:
+    """Execute one parsed CLI invocation; the warm worker pool is torn
+    down on *every* exit path (``try/finally`` — a ``KeyboardInterrupt``
+    or a mid-sweep exception used to skip the old end-of-function
+    ``shutdown_pool()`` call and leak warm worker processes)."""
     if args.command in (None, "list"):
         print("experiments:", ", ".join(EXPERIMENTS))
         print("workloads:  ", ", ".join(WORKLOAD_NAMES))
         print("architectures:", ", ".join(available_archs()))
         return 0
+    if args.command == "serve":
+        from .serve.server import serve_command
+
+        return serve_command(args)
+    if args.command in ("submit", "status", "cancel"):
+        from .serve.client import client_command
+
+        return client_command(args)
     if args.command == "all":
         obs, trace_dir = _install_perf_defaults(args, _make_obs(args))
         rc = 0
-        for name in EXPERIMENTS:
-            if name == "fig17":
-                continue  # shares the fig16 sweep
-            rc = max(
-                rc,
-                _run_experiment(
-                    name,
-                    args.scale,
-                    obs=obs,
-                    bench_json=args.bench_json,
-                    runlog=_runlog_dir(args),
-                ),
-            )
-            print()
-        # One warm pool serves the whole run; spawns > 1 means worker
-        # deaths or a limits change forced respawns along the way.
-        if (exec_runtime.get_default_jobs() or 1) > 1 and pool_spawns():
-            print(f"[pool: {pool_spawns()} spawn(s) across {len(EXPERIMENTS)} experiments]")
-        shutdown_pool()
+        try:
+            for name in EXPERIMENTS:
+                if name == "fig17":
+                    continue  # shares the fig16 sweep
+                rc = max(
+                    rc,
+                    _run_experiment(
+                        name,
+                        args.scale,
+                        obs=obs,
+                        bench_json=args.bench_json,
+                        runlog=_runlog_dir(args),
+                    ),
+                )
+                print()
+            # One warm pool serves the whole run; spawns > 1 means worker
+            # deaths or a limits change forced respawns along the way.
+            if (exec_runtime.get_default_jobs() or 1) > 1 and pool_spawns():
+                print(f"[pool: {pool_spawns()} spawn(s) across {len(EXPERIMENTS)} experiments]")
+        except BaseException:
+            # An interrupt or crash mid-sweep: the workers may be minutes
+            # deep in their current simulations, and a graceful shutdown
+            # here would both strand them *and* disarm the interrupt
+            # handler's kill (discard clears the pool reference, making
+            # the later shutdown_pool(kill=True) a no-op).  Kill now.
+            shutdown_pool(kill=True)
+            raise
+        finally:
+            shutdown_pool()
         if trace_dir is not None:
             _merge_sweep_trace(trace_dir, args.trace)
         else:
@@ -696,15 +858,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _run_one(args)
     obs, trace_dir = _install_perf_defaults(args, _make_obs(args))
-    rc = _run_experiment(
-        args.command,
-        args.scale,
-        args.save,
-        obs=obs,
-        bench_json=args.bench_json,
-        runlog=_runlog_dir(args),
-    )
-    shutdown_pool()
+    try:
+        rc = _run_experiment(
+            args.command,
+            args.scale,
+            args.save,
+            obs=obs,
+            bench_json=args.bench_json,
+            runlog=_runlog_dir(args),
+        )
+    except BaseException:
+        # Same as the `all` path: a graceful teardown on the interrupt/
+        # crash path would strand busy workers and turn the CLI handler's
+        # shutdown_pool(kill=True) into a no-op.
+        shutdown_pool(kill=True)
+        raise
+    finally:
+        shutdown_pool()
     if trace_dir is not None:
         _merge_sweep_trace(trace_dir, args.trace)
     else:

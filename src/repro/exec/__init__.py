@@ -41,8 +41,10 @@ from .bench import (
     write_bench,
 )
 from .cache import (
+    CACHE_MAX_MB_ENV,
     CacheStats,
     ResultCache,
+    cache_max_mb_from_env,
     code_version,
     job_fingerprint,
     job_key,
@@ -102,7 +104,9 @@ from .runtime import (
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "CACHE_MAX_MB_ENV",
     "CacheStats",
+    "cache_max_mb_from_env",
     "CostBook",
     "CostPrediction",
     "JOBS_ENV",

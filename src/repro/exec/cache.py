@@ -18,6 +18,16 @@ one is given (``--cache DIR`` / ``REPRO_CACHE_DIR``) so hits survive
 across invocations.  ``get`` always unpickles a fresh copy, so a cached
 result can be mutated by its consumer without corrupting the cache.
 
+The cache can be **size-capped** (``max_mb=`` / ``REPRO_CACHE_MAX_MB``):
+when a store pushes the footprint past the cap, least-recently-used
+entries are evicted — by access order in memory, by file mtime on disk
+(a hit touches the file's mtime so hot entries survive) — and counted in
+:class:`CacheStats.evicted`.  Keys *pinned* via :meth:`ResultCache.pin`
+(a long-lived server pins every in-flight job) are never evicted.  The
+cap is off by default for CLI runs, whose lifetime bounds growth, and on
+by default for ``repro serve``, which would otherwise grow without bound
+(docs/serving.md).
+
 The identity half of the key is *not* computed here: it is the canonical
 :meth:`~repro.system.spec.SystemSpec.to_dict` form of the job's spec, so
 anything that round-trips to the same canonical spec hits the same entry.
@@ -44,7 +54,32 @@ from .jobs import SweepJob
 #:    RunResult grew per-requester-class service aggregates.
 CACHE_SCHEMA = 4
 
+#: Environment variable capping the cache footprint in megabytes
+#: (applied to both the in-memory map and the on-disk directory).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 _code_digest: Optional[str] = None
+
+
+def cache_max_mb_from_env() -> Optional[float]:
+    """Parse ``REPRO_CACHE_MAX_MB``; unset, empty, invalid, or
+    non-positive values mean "no cap" (with a warning for garbage, so a
+    typo never silently disables the cap a server relies on)."""
+    raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        import sys
+
+        print(
+            f"warning: ignoring invalid {CACHE_MAX_MB_ENV}={raw!r}; "
+            "cache size cap disabled",
+            file=sys.stderr,
+        )
+        return None
+    return value if value > 0 else None
 
 
 def code_version() -> str:
@@ -96,19 +131,29 @@ class CacheStats:
     #: disk corruption, stale class layout); each was deleted and
     #: recomputed as a miss.
     corrupt: int = 0
+    #: Entries dropped by the size cap's LRU eviction (never pinned ones).
+    evicted: int = 0
 
     def add(
-        self, hits: int = 0, misses: int = 0, stores: int = 0, corrupt: int = 0
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        stores: int = 0,
+        corrupt: int = 0,
+        evicted: int = 0,
     ) -> None:
         self.hits += hits
         self.misses += misses
         self.stores += stores
         self.corrupt += corrupt
+        self.evicted += evicted
 
     def as_note(self) -> str:
         note = f"cache: {self.hits} hits, {self.misses} misses"
         if self.corrupt:
             note += f", {self.corrupt} corrupt entries dropped"
+        if self.evicted:
+            note += f", {self.evicted} evicted by the size cap"
         return note
 
 
@@ -126,18 +171,53 @@ def process_cache_stats() -> CacheStats:
 
 
 class ResultCache:
-    """In-memory (and optionally on-disk) store of pickled RunResults."""
+    """In-memory (and optionally on-disk) store of pickled RunResults.
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    ``max_mb`` caps the footprint (memory and disk independently, same
+    value); ``None`` (the default) means unbounded.  Pinned keys — see
+    :meth:`pin` — are exempt from eviction, so a server can guarantee an
+    in-flight job's freshly stored result is never dropped before its
+    subscribers read it.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, max_mb: Optional[float] = None
+    ) -> None:
         self.path: Optional[Path] = Path(path) if path else None
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
+        self.max_bytes: Optional[int] = (
+            int(max_mb * 1024 * 1024) if max_mb and max_mb > 0 else None
+        )
+        # Plain dict, but insertion order doubles as LRU order: ``get``
+        # re-inserts the key it touched (move-to-end), so iteration
+        # starts at the coldest entry.
         self._mem: Dict[str, bytes] = {}
+        self._pinned: Dict[str, int] = {}
         self.stats = CacheStats()
 
     def _tally(self, **counts: int) -> None:
         self.stats.add(**counts)
         _PROCESS_STATS.add(**counts)
+
+    # -- pinning (in-flight jobs on a long-lived server) ----------------
+    def pin(self, key: str) -> None:
+        """Exempt ``key`` from size-cap eviction until unpinned.
+        Pins are counted, so two in-flight submissions deduplicated onto
+        the same key both have to finish before it becomes evictable."""
+        self._pinned[key] = self._pinned.get(key, 0) + 1
+
+    def unpin(self, key: str) -> None:
+        """Drop one pin on ``key`` (missing keys are ignored)."""
+        count = self._pinned.get(key, 0) - 1
+        if count > 0:
+            self._pinned[key] = count
+        else:
+            self._pinned.pop(key, None)
+
+    def pinned(self) -> set:
+        """The currently pinned keys (a copy)."""
+        return set(self._pinned)
 
     def sidecar_path(self, name: str) -> Optional[Path]:
         """Where a companion artifact (e.g. the planner's
@@ -173,7 +253,17 @@ class ResultCache:
                     except OSError:
                         pass
             else:
+                # Move-to-end: iteration order over _mem is LRU order.
+                self._mem.pop(key, None)
                 self._mem[key] = payload
+                if self.path is not None:
+                    try:
+                        # A hit refreshes the file's mtime, so disk LRU
+                        # eviction tracks access recency, not write time.
+                        os.utime(self.path / f"{key}.pkl")
+                    except OSError:
+                        pass
+                self._evict()
                 self._tally(hits=1)
                 return result
         self._tally(misses=1)
@@ -182,6 +272,7 @@ class ResultCache:
     def put(self, job: SweepJob, result: RunResult) -> None:
         key = job_key(job)
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._mem.pop(key, None)
         self._mem[key] = payload
         self._tally(stores=1)
         if self.path is not None:
@@ -197,6 +288,60 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+        self._evict()
+
+    # -- size-cap eviction ----------------------------------------------
+    def _evict(self) -> None:
+        """Drop LRU entries until both footprints fit ``max_bytes``.
+
+        Memory and disk are capped independently: memory evicts in
+        insertion (= access) order, disk by file mtime (refreshed on every
+        hit), and an entry evicted from memory but still on disk remains
+        a — slower — hit.  Pinned keys are never touched on either tier.
+        """
+        if self.max_bytes is None:
+            return
+        evicted = 0
+        mem_bytes = sum(len(p) for p in self._mem.values())
+        if mem_bytes > self.max_bytes:
+            for key in list(self._mem):  # coldest first (insertion order)
+                if mem_bytes <= self.max_bytes:
+                    break
+                if key in self._pinned:
+                    continue
+                mem_bytes -= len(self._mem.pop(key))
+                # Dropping the in-memory copy of a disk-backed entry is
+                # not a loss, so it only counts as an eviction when the
+                # payload existed nowhere else.
+                if self.path is None or not (self.path / f"{key}.pkl").exists():
+                    evicted += 1
+        if self.path is not None:
+            files = []
+            total = 0
+            for file in self.path.glob("*.pkl"):
+                try:
+                    stat = file.stat()
+                except OSError:
+                    continue  # vanished under a concurrent eviction
+                files.append((stat.st_mtime, file))
+                total += stat.st_size
+            if total > self.max_bytes:
+                for mtime, file in sorted(files):
+                    if total <= self.max_bytes:
+                        break
+                    key = file.stem
+                    if key in self._pinned:
+                        continue
+                    try:
+                        size = file.stat().st_size
+                        file.unlink()
+                    except OSError:
+                        continue
+                    total -= size
+                    self._mem.pop(key, None)
+                    evicted += 1
+        if evicted:
+            self._tally(evicted=evicted)
 
     def clear(self) -> None:
         self._mem.clear()

@@ -41,6 +41,7 @@ Failure semantics (docs/robustness.md):
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
 import sys
@@ -123,12 +124,28 @@ class _PoolManager:
             self.spawns += 1
         return self._pool
 
-    def discard(self) -> None:
-        """Shut the pool down (broken pool, shape change, or process exit)."""
+    def discard(self, kill: bool = False) -> None:
+        """Shut the pool down (broken pool, shape change, or process exit).
+
+        With ``kill=True`` the worker processes are terminated outright
+        instead of being left to finish their current jobs.  A plain
+        ``shutdown(wait=False)`` only stops *new* work: a worker deep in
+        a long simulation keeps burning CPU — and keeps the interpreter's
+        exit hooks waiting — long after a ``KeyboardInterrupt`` told the
+        user everything stopped.  The interrupt path wants the workers
+        gone *now*.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            pool = self._pool
             self._pool = None
             self._key = None
+            workers = list(getattr(pool, "_processes", {}).values()) if kill else []
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in workers:
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass  # already gone
 
 
 _POOL = _PoolManager()
@@ -139,9 +156,23 @@ def pool_spawns() -> int:
     return _POOL.spawns
 
 
-def shutdown_pool() -> None:
-    """Tear down the shared warm pool (end of a CLI run, or tests)."""
-    _POOL.discard()
+def shutdown_pool(kill: bool = False) -> None:
+    """Tear down the shared warm pool (end of a CLI run, or tests).
+
+    ``kill=True`` terminates mid-job workers immediately — the
+    ``KeyboardInterrupt`` path, where waiting for a long simulation to
+    finish would leave the terminal apparently hung and the workers
+    apparently leaked.
+    """
+    _POOL.discard(kill=kill)
+
+
+# Fallback for exit paths that never reach the CLI's ``try/finally``
+# (an exception between sweeps, a library caller forgetting to clean
+# up): discard the warm pool at interpreter exit so its workers are not
+# left running against a dead parent.  Idempotent — a pool already shut
+# down by the CLI makes this a no-op.
+atexit.register(shutdown_pool)
 
 
 class SweepExecutor:

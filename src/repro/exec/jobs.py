@@ -221,8 +221,16 @@ def _worker_initializer(watchdog_limits: Tuple[Optional[int], Optional[float]] =
     its first job's measured wall time.  Under fork these are near-free
     (inherited); under spawn they are the warm-pool win.
     """
+    import signal
+
     from ..obs import runtime as obs_runtime
     from ..sim import watchdog
+
+    # The serving daemon maps SIGTERM to KeyboardInterrupt so `kill`
+    # takes the clean-shutdown path; a forked worker inherits that
+    # handler and would die with a spurious traceback when the pool is
+    # terminated.  A worker has no shutdown of its own — default kill.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
     obs_runtime.set_default(None)
     watchdog.set_default_limits(*watchdog_limits)

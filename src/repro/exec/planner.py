@@ -42,9 +42,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # POSIX only; on other platforms saves fall back to unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import ConfigError
 from ..obs.telemetry import JobTelemetry
@@ -82,6 +88,41 @@ _ESTIMATE_KWARGS = (
     "num_active_gpus",
     "seed",
 )
+
+@contextmanager
+def _book_lock(path: Path):
+    """Exclusive advisory lock serializing CostBook read-merge-write.
+
+    Locks a ``.lock`` sidecar (the book itself is swapped by
+    ``os.replace``, so locking its inode would guard a file that no
+    longer exists after the first writer finishes).  Best-effort like
+    every other CostBook I/O: when ``fcntl`` is missing or the lock file
+    cannot be opened, the save proceeds unlocked rather than failing the
+    sweep.
+    """
+    fd = None
+    if fcntl is not None:
+        try:
+            fd = os.open(
+                str(path.with_name(path.name + ".lock")),
+                os.O_CREAT | os.O_RDWR,
+                0o644,
+            )
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            if fd is not None:
+                os.close(fd)
+            fd = None
+    try:
+        yield
+    finally:
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
+
 
 #: Process-wide memo of analytic estimates, keyed on the spec's content
 #: hash — planning and prefiltering the same point costs one model run.
@@ -186,6 +227,13 @@ class CostBook:
     def __post_init__(self) -> None:
         self.path = Path(self.path) if self.path else None
         self._dirty = False
+        #: Observations made by *this* book since its last save.  A save
+        #: re-reads the on-disk book under a lock and applies only these
+        #: deltas, so two concurrent sweeps (or two server workers) can
+        #: no longer silently drop each other's updates in a
+        #: read-modify-write race.
+        self._new_points: Dict[str, Dict[str, Any]] = {}
+        self._rate_deltas: Dict[str, Dict[str, Any]] = {}
         self._load()
 
     @classmethod
@@ -196,9 +244,11 @@ class CostBook:
         return cls(path=sidecar)
 
     # ------------------------------------------------------------------
-    def _load(self) -> None:
+    def _read_disk(self) -> Optional[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Parse the on-disk book; ``None`` when missing or corrupt (a
+        corrupt file is counted, unlinked, and treated as empty)."""
         if self.path is None or not self.path.exists():
-            return
+            return None
         try:
             payload = json.loads(self.path.read_text())
             if payload.get("schema") != COSTBOOK_SCHEMA:
@@ -215,36 +265,73 @@ class CostBook:
                 self.path.unlink()
             except OSError:
                 pass
-            return
-        self.points = points
-        self.rates = rates
+            return None
+        return points, rates
+
+    def _load(self) -> None:
+        disk = self._read_disk()
+        if disk is not None:
+            self.points, self.rates = disk
 
     def save(self) -> None:
-        """Atomically persist the book (no-op in memory or when clean)."""
+        """Merge this book's new observations into the on-disk book and
+        atomically persist the union (no-op in memory or when clean).
+
+        The whole read-merge-write cycle runs under an exclusive
+        ``fcntl`` lock on a ``.lock`` sidecar: the on-disk book is
+        re-read, this process's observation deltas since the last save
+        are applied on top (point observations overwrite — ours are the
+        freshest for those exact points — and rate totals add), and the
+        merge is swapped in with ``os.replace``.  Two concurrent sweeps
+        therefore both land their updates; the old unconditional
+        write-what-I-loaded behavior silently lost whichever writer
+        finished first.
+        """
         if self.path is None or not self._dirty:
             return
-        while len(self.points) > COSTBOOK_MAX_POINTS:
-            self.points.pop(next(iter(self.points)))
-        payload = {
-            "schema": COSTBOOK_SCHEMA,
-            "points": self.points,
-            "rates": self.rates,
-        }
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle, sort_keys=True)
-                os.replace(tmp, self.path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
         except OSError:
             return  # a read-only or vanished directory never fails a sweep
+        with _book_lock(self.path):
+            disk = self._read_disk()
+            if disk is not None:
+                points, rates = disk
+                points.update(self._new_points)
+                for key, delta in self._rate_deltas.items():
+                    rate = rates.setdefault(
+                        key,
+                        {"units": 0.0, "events": 0, "wall_s": 0.0, "samples": 0},
+                    )
+                    rate["units"] = float(rate.get("units", 0.0)) + delta["units"]
+                    rate["events"] = int(rate.get("events", 0)) + delta["events"]
+                    rate["wall_s"] = float(rate.get("wall_s", 0.0)) + delta["wall_s"]
+                    rate["samples"] = int(rate.get("samples", 0)) + delta["samples"]
+                self.points = points
+                self.rates = rates
+            while len(self.points) > COSTBOOK_MAX_POINTS:
+                self.points.pop(next(iter(self.points)))
+            payload = {
+                "schema": COSTBOOK_SCHEMA,
+                "points": self.points,
+                "rates": self.rates,
+            }
+            try:
+                fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "w") as handle:
+                        json.dump(payload, handle, sort_keys=True)
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return  # best-effort: leave deltas pending for a retry
+        self._new_points.clear()
+        self._rate_deltas.clear()
         self._dirty = False
 
     # ------------------------------------------------------------------
@@ -294,20 +381,23 @@ class CostBook:
         """Feed one executed point's flight record back into the book."""
         if telemetry.source != "run" or telemetry.wall_s <= 0:
             return
-        self.points[job.system.cache_key()] = {
+        point = {
             "wall_s": round(telemetry.wall_s, 6),
             "events": telemetry.events,
             "units": units,
         }
+        self.points[job.system.cache_key()] = point
+        self._new_points[job.system.cache_key()] = point
         if units and units > 0 and telemetry.events > 0:
-            rate = self.rates.setdefault(
-                self.rate_key(job),
-                {"units": 0.0, "events": 0, "wall_s": 0.0, "samples": 0},
-            )
-            rate["units"] = float(rate["units"]) + units
-            rate["events"] = int(rate["events"]) + telemetry.events
-            rate["wall_s"] = float(rate["wall_s"]) + telemetry.wall_s
-            rate["samples"] = int(rate["samples"]) + 1
+            for table in (self.rates, self._rate_deltas):
+                rate = table.setdefault(
+                    self.rate_key(job),
+                    {"units": 0.0, "events": 0, "wall_s": 0.0, "samples": 0},
+                )
+                rate["units"] = float(rate["units"]) + units
+                rate["events"] = int(rate["events"]) + telemetry.events
+                rate["wall_s"] = float(rate["wall_s"]) + telemetry.wall_s
+                rate["samples"] = int(rate["samples"]) + 1
         self.stats.observed += 1
         self._dirty = True
 

@@ -20,7 +20,7 @@ from typing import Optional
 from ..config import NETWORK_MODELS
 from ..errors import ConfigError
 from ..obs.telemetry import ProgressListener
-from .cache import ResultCache
+from .cache import ResultCache, cache_max_mb_from_env
 from .executor import SweepExecutor
 from .planner import SCHEDULES, CostBook
 
@@ -63,7 +63,11 @@ def get_default_cache() -> Optional[ResultCache]:
     global _default_cache
     if _default_cache is _UNSET:
         cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip()
-        _default_cache = ResultCache(cache_dir) if cache_dir else None
+        _default_cache = (
+            ResultCache(cache_dir, max_mb=cache_max_mb_from_env())
+            if cache_dir
+            else None
+        )
     return _default_cache  # type: ignore[return-value]
 
 

@@ -51,7 +51,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
 #: Bump when the RUNLOG / progress-event JSON layouts change shape.
 #: 2: jobs gained ``predicted_wall_s`` and the ``pruned`` source; the
 #: summary gained ``pruned``, ``prediction``, and ``pool_spawns``.
-TELEMETRY_SCHEMA = 2
+#: 3: the summary's ``cache`` section gained ``evicted`` (size-cap LRU
+#: eviction counts; see docs/serving.md).
+TELEMETRY_SCHEMA = 3
 
 #: Job state transitions a sweep can emit, in lifecycle order.
 #: ``planned`` fires once per sweep, after submission under the LPT
@@ -201,6 +203,7 @@ def flight_summary(
             "misses": cache_stats.misses,
             "stores": cache_stats.stores,
             "corrupt": cache_stats.corrupt,
+            "evicted": getattr(cache_stats, "evicted", 0),
         }
     return summary
 

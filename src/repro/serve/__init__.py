@@ -1,0 +1,28 @@
+"""``repro serve``: a long-lived sweep server with a job queue.
+
+ROADMAP item 1: one daemon owns the warm worker pool and the result
+cache; thin ``repro submit``/``status``/``cancel`` clients talk to it
+over a Unix socket (or loopback TCP) in newline-delimited JSON.  See
+docs/serving.md for the protocol and docs/robustness.md for the
+concurrency contracts (dedup, quotas, cancellation salvage, pinning).
+"""
+
+from .protocol import (
+    DEFAULT_SOCKET,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    SOCKET_ENV,
+    ServeAddress,
+)
+from .queue import Entry, JobQueue, Subscription
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "Entry",
+    "JobQueue",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "SOCKET_ENV",
+    "ServeAddress",
+    "Subscription",
+]

@@ -1,0 +1,230 @@
+"""Thin clients for the ``repro serve`` daemon.
+
+:class:`ServeClient` is the programmatic API (one connection per call,
+JSONL both ways); :func:`client_command` implements the ``repro submit``
+/ ``status`` / ``cancel`` CLI verbs on top of it.  Clients carry no
+simulation code — a submission is just the canonical
+``SystemSpec.to_dict()`` JSON, so any process that can serialize a spec
+(or has a ``--dump-spec`` file on disk) can drive the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import socket as _socket
+import sys
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from .protocol import (
+    ProtocolError,
+    ServeAddress,
+    read_messages,
+    write_message,
+)
+
+
+class ServeClient:
+    """Talks to one daemon address; stateless between calls."""
+
+    def __init__(
+        self, address: ServeAddress, timeout: Optional[float] = None
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        message: Dict[str, Any],
+        stop_events: Optional[Sequence[str]] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Send one request; yield response events until a terminal event
+        (one of ``stop_events``) arrives or the server closes the stream.
+
+        The terminal-event contract matters: the server's warm worker
+        pool is forked while connections may be open, so a forked worker
+        can hold a duplicate of this connection's file descriptor and
+        delay the EOF — a client must never *need* the close to know the
+        response is complete (the protocol's ``end`` event exists for
+        exactly this).
+        """
+        sock = self.address.connect(timeout=self.timeout)
+        try:
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            write_message(stream, message)
+            try:
+                sock.shutdown(_socket.SHUT_WR)
+            except OSError:
+                pass  # half-close is best-effort; the server reads one line
+            for event in read_messages(stream):
+                yield event
+                if stop_events and event.get("event") in stop_events:
+                    return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def request_one(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request; return its single response event."""
+        for event in self.request(message):
+            return event
+        raise ProtocolError("server closed the connection without a response")
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        specs: Sequence[Dict[str, Any]],
+        client: str = "client",
+        priority: int = 0,
+        wait: bool = True,
+        tags: Optional[Sequence[Optional[str]]] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "client": client,
+            "priority": priority,
+            "wait": wait,
+            "specs": list(specs),
+        }
+        if tags:
+            message["tags"] = list(tags)
+        return self.request(message, stop_events=("end", "error"))
+
+    def status(self) -> Dict[str, Any]:
+        return self.request_one({"op": "status"})
+
+    def cancel(self, request_id: str) -> Dict[str, Any]:
+        return self.request_one({"op": "cancel", "request_id": request_id})
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request_one({"op": "ping"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request_one({"op": "shutdown"})
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs
+# ---------------------------------------------------------------------------
+def _load_specs(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Read spec dicts from files: each file holds one canonical-JSON
+    spec object or a list of them (``-`` reads stdin)."""
+    specs: List[Dict[str, Any]] = []
+    for path in paths:
+        if path == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(path) as handle:
+                data = json.load(handle)
+        if isinstance(data, list):
+            for item in data:
+                if not isinstance(item, dict):
+                    raise ValueError(
+                        f"{path}: expected spec objects, got "
+                        f"{type(item).__name__}"
+                    )
+                specs.append(item)
+        elif isinstance(data, dict):
+            specs.append(data)
+        else:
+            raise ValueError(
+                f"{path}: expected a spec object or list, got "
+                f"{type(data).__name__}"
+            )
+    return specs
+
+
+def _print_event(event: Dict[str, Any], stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    stream.write(json.dumps(event, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def _cmd_submit(args: Any, address: ServeAddress) -> int:
+    try:
+        specs = _load_specs(args.specs)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("error: no specs to submit", file=sys.stderr)
+        return 2
+    client = ServeClient(address, timeout=args.timeout)
+    wait = not getattr(args, "no_wait", False)
+    failed = cancelled = 0
+    saw_end = False
+    for event in client.submit(
+        specs,
+        client=args.client,
+        priority=args.priority,
+        wait=wait,
+    ):
+        _print_event(event)
+        kind = event.get("event")
+        if kind == "error":
+            return 2
+        if kind == "failed":
+            failed += 1
+        elif kind == "cancelled":
+            cancelled += 1
+        elif kind == "end":
+            saw_end = True
+    if not wait:
+        return 0
+    if not saw_end:
+        print(
+            "error: server closed the stream before the end summary",
+            file=sys.stderr,
+        )
+        return 1
+    if failed:
+        return 3
+    if cancelled:
+        return 4
+    return 0
+
+
+def _cmd_status(args: Any, address: ServeAddress) -> int:
+    event = ServeClient(address, timeout=args.timeout).status()
+    _print_event(event)
+    return 0 if event.get("event") == "status" else 1
+
+
+def _cmd_cancel(args: Any, address: ServeAddress) -> int:
+    event = ServeClient(address, timeout=args.timeout).cancel(args.request_id)
+    _print_event(event)
+    return 0 if event.get("event") == "cancelled" else 1
+
+
+def client_command(args: Any) -> int:
+    """Implements ``repro submit``/``status``/``cancel`` (from the CLI)."""
+    try:
+        address = ServeAddress.from_args(args)
+    except (ProtocolError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    handler = {
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "cancel": _cmd_cancel,
+    }[args.command]
+    try:
+        return handler(args, address)
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(
+            f"error: no server listening on {address.describe()} "
+            "(start one with `repro serve`)",
+            file=sys.stderr,
+        )
+        return 2
+    except ProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["ServeClient", "client_command"]

@@ -1,0 +1,209 @@
+"""The ``repro serve`` wire protocol: JSONL request/response framing.
+
+The daemon and its clients speak newline-delimited JSON over a stream
+socket — a Unix domain socket (``--socket PATH``, the default) or a
+loopback TCP port (``--port N``).  One connection carries one request:
+the client sends a single request object, the server answers with one or
+more event objects and closes.  Streaming responses (a ``submit`` with
+``wait``) reuse the shape of the sweep executor's
+:class:`~repro.obs.telemetry.ProgressListener` events, so a tool that
+already parses ``--progress jsonl`` output can parse a server stream.
+
+Requests (``op`` selects the verb):
+
+- ``{"op": "submit", "client": NAME, "priority": P, "wait": BOOL,
+  "specs": [SPEC, ...], "tags": [STR, ...]}`` — enqueue one job per
+  canonical :class:`~repro.system.spec.SystemSpec` dict (the exact
+  ``--dump-spec`` / ``SystemSpec.to_dict()`` form).
+- ``{"op": "status"}`` — one snapshot of queue/cache/flight state.
+- ``{"op": "cancel", "request_id": "r3"}`` — cancel a submission.
+- ``{"op": "ping"}`` — liveness probe.
+- ``{"op": "shutdown"}`` — ask the daemon to exit cleanly.
+
+Responses are event objects (``event`` selects the kind); the full
+per-event field tables live in docs/serving.md.  Every response stream
+for a waited submit ends with a ``{"event": "end", ...}`` summary, so a
+client never has to infer completion from a closed socket.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+#: Bump when the request/response JSON layouts change shape.
+PROTOCOL_SCHEMA = 1
+
+#: Request verbs the server accepts.
+OPS = ("submit", "status", "cancel", "ping", "shutdown")
+
+#: Default Unix-socket path (relative to the server's working directory)
+#: when neither ``--socket`` nor ``--port`` is given.
+DEFAULT_SOCKET = "repro-serve.sock"
+
+#: Environment variable naming the default socket path for both the
+#: server and the client CLI, so scripts need not repeat ``--socket``.
+SOCKET_ENV = "REPRO_SERVE_SOCKET"
+
+#: Largest accepted request line, a guard against a stray client dumping
+#: garbage into the socket (a sweep of a few hundred specs fits easily).
+MAX_REQUEST_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed request or response line."""
+
+
+@dataclass(frozen=True)
+class ServeAddress:
+    """Where the daemon listens: a Unix socket path or a loopback port."""
+
+    socket_path: Optional[str] = None
+    port: Optional[int] = None
+    host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if (self.socket_path is None) == (self.port is None):
+            raise ValueError("give exactly one of socket_path / port")
+
+    @classmethod
+    def from_args(cls, args: Any) -> "ServeAddress":
+        """Resolve ``--socket``/``--port`` flags (argparse namespace);
+        with neither given, ``REPRO_SERVE_SOCKET`` then the default
+        socket path apply."""
+        port = getattr(args, "port", None)
+        path = getattr(args, "socket", None)
+        if port is not None and path is not None:
+            raise ProtocolError("give --socket or --port, not both")
+        if port is not None:
+            return cls(port=port)
+        if path is None:
+            path = os.environ.get(SOCKET_ENV, "").strip() or DEFAULT_SOCKET
+        return cls(socket_path=path)
+
+    def describe(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def listen(self, backlog: int = 16) -> socket.socket:
+        """Bind and listen; Unix sockets replace a stale leftover file."""
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                # A previous daemon that died uncleanly leaves its socket
+                # file behind; refuse only if someone is still answering.
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    probe.settimeout(0.25)
+                    probe.connect(self.socket_path)
+                except OSError:
+                    os.unlink(self.socket_path)
+                else:
+                    probe.close()
+                    raise OSError(
+                        f"a server is already listening on {self.socket_path}"
+                    )
+                finally:
+                    probe.close()
+            server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            server.bind(self.socket_path)
+        else:
+            server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            # Loopback only: the daemon runs arbitrary registered
+            # workloads, so it must never listen on a routable interface.
+            server.bind((self.host, self.port))
+        server.listen(backlog)
+        return server
+
+    def connect(self, timeout: Optional[float] = None) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            )
+        return sock
+
+    def cleanup(self) -> None:
+        """Remove the Unix socket file after the listener closed."""
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def write_message(stream, message: Dict[str, Any]) -> None:
+    """Serialize one message as a single sorted-key JSON line."""
+    stream.write(json.dumps(message, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def read_message(stream) -> Optional[Dict[str, Any]]:
+    """Read one JSONL message; ``None`` on a cleanly closed stream."""
+    line = stream.readline(MAX_REQUEST_BYTES)
+    if not line:
+        return None
+    if len(line) >= MAX_REQUEST_BYTES and not line.endswith("\n"):
+        raise ProtocolError(
+            f"request line exceeds {MAX_REQUEST_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object per line, got {type(message).__name__}"
+        )
+    return message
+
+
+def read_messages(stream) -> Iterator[Dict[str, Any]]:
+    """Iterate messages until the stream closes."""
+    while True:
+        message = read_message(stream)
+        if message is None:
+            return
+        yield message
+
+
+def validate_request(message: Dict[str, Any]) -> str:
+    """Check a request's verb; returns the op or raises ProtocolError."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; valid: {', '.join(OPS)}"
+        )
+    if op == "submit":
+        specs = message.get("specs")
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError("submit needs a non-empty 'specs' list")
+    if op == "cancel" and not message.get("request_id"):
+        raise ProtocolError("cancel needs a 'request_id'")
+    return op
+
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "MAX_REQUEST_BYTES",
+    "OPS",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "SOCKET_ENV",
+    "ServeAddress",
+    "read_message",
+    "read_messages",
+    "validate_request",
+    "write_message",
+]

@@ -1,0 +1,132 @@
+"""CostBook concurrency: the save() read-modify-write race, fixed.
+
+Two sweeps sharing one cache directory each load the costbook, observe
+different points, and save.  The old unconditional write-what-I-loaded
+save made the second writer clobber the first's observations; save() now
+re-reads the disk book under a lock and applies only this process's
+deltas, so both land.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec import SweepJob, WorkloadRef
+from repro.exec.planner import COSTBOOK_SCHEMA, CostBook
+from repro.obs.telemetry import JobTelemetry
+from repro.system.configs import get_spec
+
+from tests.conftest import tiny_system_config
+
+
+def _job(i: int) -> SweepJob:
+    return SweepJob.make(
+        get_spec("GMN"),
+        WorkloadRef("KMN", 0.1 + i),
+        tiny_system_config(),
+        tag=f"p{i}",
+    )
+
+
+def _telemetry(label: str, wall_s: float, events: int = 1000) -> JobTelemetry:
+    return JobTelemetry(label=label, source="run", wall_s=wall_s, events=events)
+
+
+def test_two_writers_merge_instead_of_clobbering(tmp_path):
+    """The regression: B loaded before A saved, so B's save used to
+    overwrite the file with a book that never saw A's points."""
+    path = tmp_path / "costbook.json"
+    book_a = CostBook(path=path)
+    book_b = CostBook(path=path)  # loaded while the file does not exist
+
+    job_a, job_b = _job(0), _job(1)
+    book_a.observe(job_a, _telemetry("a", 2.0), units=10.0)
+    book_b.observe(job_b, _telemetry("b", 3.0), units=20.0)
+    book_a.save()
+    book_b.save()  # previously: clobbered A's observation
+
+    merged = CostBook(path=path)
+    assert job_a.system.cache_key() in merged.points
+    assert job_b.system.cache_key() in merged.points
+    # Same (arch, network_model): rate totals are the sum of both books.
+    rate = merged.rates[CostBook.rate_key(job_a)]
+    assert rate["samples"] == 2
+    assert rate["units"] == 30.0
+    assert rate["events"] == 2000
+
+
+def test_same_point_latest_save_wins(tmp_path):
+    """Point observations overwrite on merge — the saver's value is the
+    freshest measurement of that exact point."""
+    path = tmp_path / "costbook.json"
+    book_a = CostBook(path=path)
+    book_b = CostBook(path=path)
+    job = _job(0)
+    book_a.observe(job, _telemetry("a", 2.0))
+    book_b.observe(job, _telemetry("b", 5.0))
+    book_a.save()
+    book_b.save()
+    merged = CostBook(path=path)
+    assert merged.points[job.system.cache_key()]["wall_s"] == 5.0
+
+
+def test_save_applies_deltas_only_once(tmp_path):
+    """A second save after new observations must not re-add the rate
+    totals already landed by the first save."""
+    path = tmp_path / "costbook.json"
+    book = CostBook(path=path)
+    book.observe(_job(0), _telemetry("a", 2.0), units=10.0)
+    book.save()
+    book.save()  # clean: a no-op
+    book.observe(_job(1), _telemetry("b", 3.0), units=5.0)
+    book.save()
+    merged = CostBook(path=path)
+    rate = merged.rates[CostBook.rate_key(_job(0))]
+    assert rate["samples"] == 2  # one per observation, not per save
+    assert rate["units"] == 15.0
+
+
+def test_clean_book_save_writes_nothing(tmp_path):
+    path = tmp_path / "costbook.json"
+    CostBook(path=path).save()
+    assert not path.exists()
+
+
+def test_memory_book_save_is_noop():
+    book = CostBook(path=None)
+    book.observe(_job(0), _telemetry("a", 2.0))
+    book.save()  # no path: nothing to do, nothing to raise
+
+
+def test_saved_file_is_valid_schema(tmp_path):
+    path = tmp_path / "costbook.json"
+    book = CostBook(path=path)
+    book.observe(_job(0), _telemetry("a", 2.0), units=10.0)
+    book.save()
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == COSTBOOK_SCHEMA
+    assert set(payload) == {"schema", "points", "rates"}
+    # The lock sidecar does not shadow the book itself.
+    assert path.with_suffix(".json.lock") != path
+
+
+def test_interleaved_observe_save_observe(tmp_path):
+    """A writer that keeps observing after a save still merges cleanly
+    against a file another writer advanced in the meantime."""
+    path = tmp_path / "costbook.json"
+    book_a = CostBook(path=path)
+    book_a.observe(_job(0), _telemetry("a", 2.0), units=10.0)
+    book_a.save()
+
+    book_b = CostBook(path=path)  # sees A's first point
+    book_b.observe(_job(1), _telemetry("b", 3.0), units=5.0)
+    book_b.save()
+
+    book_a.observe(_job(2), _telemetry("c", 4.0), units=2.0)
+    book_a.save()  # merges on top of B's file, not A's stale memory
+
+    merged = CostBook(path=path)
+    assert len(merged.points) == 3
+    rate = merged.rates[CostBook.rate_key(_job(0))]
+    assert rate["samples"] == 3
+    assert rate["units"] == 17.0

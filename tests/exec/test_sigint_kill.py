@@ -1,0 +1,146 @@
+"""Ctrl-C mid-sweep kills the warm pool's workers (no orphans, exit 130).
+
+The regression: ``main()`` used to reach ``shutdown_pool()`` only on the
+happy path, so a ``KeyboardInterrupt`` mid-sweep left worker processes
+burning CPU on minutes-long simulations after the CLI died.  This test
+interrupts a real ``repro`` CLI subprocess mid-sweep and asserts both
+halves of the fix: the 130 exit code and the absence of surviving
+workers (found by a marker variable in ``/proc/*/environ``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import uuid
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+MARKER_VAR = "REPRO_SIGINT_TEST_MARKER"
+
+# The driver registers a synthetic experiment whose sweep points block
+# for minutes inside pool workers, then enters the real CLI dispatch —
+# the exact code path a user's Ctrl-C interrupts.
+DRIVER = """\
+import sys
+
+from repro import cli
+from repro.experiments import EXPERIMENTS
+from repro.exec import SweepExecutor
+
+from tests.exec.test_sigint_kill import make_blocking_jobs
+
+
+def _blocking_sweep():
+    SweepExecutor(jobs=2).map(make_blocking_jobs())
+    raise RuntimeError("sweep finished; the test failed to interrupt it")
+
+
+EXPERIMENTS["sigint-test"] = _blocking_sweep
+sys.exit(cli.main(["sigint-test", "--jobs", "2"]))
+"""
+
+
+def make_blocking_jobs():
+    from repro.exec import SweepJob, WorkloadRef
+    from repro.system.configs import get_spec
+
+    from tests.conftest import tiny_system_config
+
+    return [
+        SweepJob.make(
+            get_spec("GMN"),
+            WorkloadRef(
+                "slow",
+                factory="tests.serve.slowwl:make_slow",
+                kwargs=(("delay_s", 300.0), ("salt", i)),
+            ),
+            tiny_system_config(num_gpus=2, num_sms=2),
+            tag=f"block{i}",
+        )
+        for i in range(4)
+    ]
+
+
+def _pids_with_marker(marker: str) -> list:
+    """Every live process whose environment carries our marker value."""
+    pids = []
+    needle = f"{MARKER_VAR}={marker}".encode()
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/environ", "rb") as handle:
+                if needle in handle.read():
+                    pids.append(int(entry))
+        except OSError:
+            continue  # exited, or not ours to read
+    return pids
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc"), reason="needs /proc to find worker processes"
+)
+def test_sigint_kills_pool_workers_and_exits_130(tmp_path):
+    marker = uuid.uuid4().hex
+    env = dict(os.environ)
+    env[MARKER_VAR] = marker
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+    )
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    child = subprocess.Popen(
+        [sys.executable, str(driver)],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Wait for the pool to fork: parent + 2 workers carry the marker.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                pytest.fail(
+                    "CLI exited before the sweep started: "
+                    f"rc={child.returncode}\n{child.stderr.read()}"
+                )
+            if len(_pids_with_marker(marker)) >= 3:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("worker processes never appeared")
+
+        child.send_signal(signal.SIGINT)
+        try:
+            stdout, stderr = child.communicate(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            pytest.fail("CLI did not exit after SIGINT")
+
+        assert child.returncode == 130, stderr
+        assert "interrupted: worker pool terminated" in stderr
+
+        # The whole point: no orphaned workers grinding on after Ctrl-C.
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if not _pids_with_marker(marker):
+                break
+            time.sleep(0.2)
+        leftover = _pids_with_marker(marker)
+        assert leftover == [], f"leaked worker pids: {leftover}"
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=10.0)
+        for pid in _pids_with_marker(marker):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass

@@ -157,7 +157,9 @@ def test_flight_summary_aggregates():
     assert summary["workers"] == [11, 12]
     assert summary["slowest"] == {"label": "b", "wall_s": 4.0}
     assert summary["slowest_failure_s"] == 0.5
-    assert summary["cache"] == {"hits": 1, "misses": 3, "stores": 3, "corrupt": 0}
+    assert summary["cache"] == {
+        "hits": 1, "misses": 3, "stores": 3, "corrupt": 0, "evicted": 0
+    }
 
 
 def test_write_runlog_jsonl(tmp_path):

@@ -1,0 +1,18 @@
+"""A deliberately slow workload factory for serve-concurrency tests.
+
+The sleep happens at *build* time inside the worker process, widening
+the in-flight window so dedup/cancel/backpressure races are testable
+deterministically.  ``salt`` only perturbs the cache key, letting tests
+mint distinct jobs that cost the same.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.workloads.vectoradd import make_vectoradd
+
+
+def make_slow(delay_s: float = 0.5, salt: int = 0, **kwargs):
+    time.sleep(delay_s)
+    return make_vectoradd(num_ctas=4 + salt % 2, lines_per_cta=2, **kwargs)

@@ -1,0 +1,198 @@
+"""Wire protocol: framing, request validation, address resolution."""
+
+from __future__ import annotations
+
+import argparse
+import io
+import socket
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_SOCKET,
+    ProtocolError,
+    SOCKET_ENV,
+    ServeAddress,
+    read_message,
+    read_messages,
+    validate_request,
+    write_message,
+)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def test_write_read_roundtrip():
+    buf = io.StringIO()
+    write_message(buf, {"op": "ping", "n": 1})
+    write_message(buf, {"op": "status"})
+    buf.seek(0)
+    assert read_message(buf) == {"op": "ping", "n": 1}
+    assert read_message(buf) == {"op": "status"}
+    assert read_message(buf) is None  # clean EOF
+
+
+def test_write_message_is_one_sorted_line():
+    buf = io.StringIO()
+    write_message(buf, {"zeta": 1, "alpha": 2})
+    assert buf.getvalue() == '{"alpha": 2, "zeta": 1}\n'
+
+
+def test_read_messages_iterates_to_eof():
+    buf = io.StringIO()
+    for i in range(3):
+        write_message(buf, {"i": i})
+    buf.seek(0)
+    assert [m["i"] for m in read_messages(buf)] == [0, 1, 2]
+
+
+def test_malformed_json_raises():
+    with pytest.raises(ProtocolError, match="malformed"):
+        read_message(io.StringIO("{not json}\n"))
+
+
+def test_non_object_line_raises():
+    with pytest.raises(ProtocolError, match="object"):
+        read_message(io.StringIO("[1, 2, 3]\n"))
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+def test_validate_known_ops():
+    assert validate_request({"op": "ping"}) == "ping"
+    assert validate_request({"op": "status"}) == "status"
+    assert validate_request({"op": "shutdown"}) == "shutdown"
+    assert validate_request({"op": "submit", "specs": [{}]}) == "submit"
+    assert validate_request({"op": "cancel", "request_id": "r1"}) == "cancel"
+
+
+def test_validate_rejects_unknown_op():
+    with pytest.raises(ProtocolError, match="unknown op"):
+        validate_request({"op": "frobnicate"})
+    with pytest.raises(ProtocolError, match="unknown op"):
+        validate_request({})
+
+
+def test_validate_submit_needs_specs():
+    with pytest.raises(ProtocolError, match="specs"):
+        validate_request({"op": "submit"})
+    with pytest.raises(ProtocolError, match="specs"):
+        validate_request({"op": "submit", "specs": []})
+    with pytest.raises(ProtocolError, match="specs"):
+        validate_request({"op": "submit", "specs": "fig07.json"})
+
+
+def test_validate_cancel_needs_request_id():
+    with pytest.raises(ProtocolError, match="request_id"):
+        validate_request({"op": "cancel"})
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+def _args(**kwargs):
+    ns = argparse.Namespace(socket=None, port=None)
+    for key, value in kwargs.items():
+        setattr(ns, key, value)
+    return ns
+
+
+def test_address_requires_exactly_one_endpoint():
+    with pytest.raises(ValueError):
+        ServeAddress()
+    with pytest.raises(ValueError):
+        ServeAddress(socket_path="x.sock", port=9999)
+
+
+def test_from_args_resolution(monkeypatch):
+    monkeypatch.delenv(SOCKET_ENV, raising=False)
+    assert ServeAddress.from_args(_args()).socket_path == DEFAULT_SOCKET
+    assert ServeAddress.from_args(_args(socket="a.sock")).socket_path == "a.sock"
+    assert ServeAddress.from_args(_args(port=7001)).port == 7001
+    monkeypatch.setenv(SOCKET_ENV, "/tmp/env.sock")
+    assert ServeAddress.from_args(_args()).socket_path == "/tmp/env.sock"
+    # Explicit flags beat the environment.
+    assert ServeAddress.from_args(_args(socket="b.sock")).socket_path == "b.sock"
+    with pytest.raises(ProtocolError, match="not both"):
+        ServeAddress.from_args(_args(socket="a.sock", port=7001))
+
+
+def test_describe():
+    assert ServeAddress(socket_path="a.sock").describe() == "unix:a.sock"
+    assert ServeAddress(port=7001).describe() == "tcp:127.0.0.1:7001"
+
+
+def test_listen_replaces_stale_socket_file(tmp_path):
+    path = str(tmp_path / "stale.sock")
+    # A dead daemon's leftover: a bound-then-closed socket file.
+    dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    dead.bind(path)
+    dead.close()
+    address = ServeAddress(socket_path=path)
+    listener = address.listen()
+    try:
+        probe = address.connect(timeout=1.0)
+        probe.close()
+    finally:
+        listener.close()
+        address.cleanup()
+
+
+def test_listen_refuses_live_socket(tmp_path):
+    path = str(tmp_path / "live.sock")
+    address = ServeAddress(socket_path=path)
+    listener = address.listen()
+    # Accept the liveness probe so the second listen sees an answer.
+    accepted = []
+
+    def _accept():
+        try:
+            conn, _ = listener.accept()
+            accepted.append(conn)
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=_accept, daemon=True)
+    thread.start()
+    try:
+        with pytest.raises(OSError, match="already listening"):
+            ServeAddress(socket_path=path).listen()
+    finally:
+        try:
+            listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        listener.close()
+        thread.join(timeout=2.0)
+        for conn in accepted:
+            conn.close()
+        address.cleanup()
+
+
+def test_unix_socket_end_to_end(tmp_path):
+    """One request/response exchange over a real Unix socket."""
+    address = ServeAddress(socket_path=str(tmp_path / "e2e.sock"))
+    listener = address.listen()
+
+    def _serve_once():
+        conn, _ = listener.accept()
+        with conn, conn.makefile("rw", encoding="utf-8", newline="\n") as f:
+            request = read_message(f)
+            write_message(f, {"event": "pong", "echo": request["op"]})
+
+    thread = threading.Thread(target=_serve_once, daemon=True)
+    thread.start()
+    sock = address.connect(timeout=2.0)
+    try:
+        with sock.makefile("rw", encoding="utf-8", newline="\n") as f:
+            write_message(f, {"op": "ping"})
+            reply = read_message(f)
+    finally:
+        sock.close()
+        thread.join(timeout=2.0)
+        listener.close()
+        address.cleanup()
+    assert reply == {"echo": "ping", "event": "pong"}
